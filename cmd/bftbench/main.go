@@ -1,0 +1,48 @@
+// Command bftbench runs the fully replicated system evaluation the paper
+// lists as future work (experiment E5): a 4-replica PBFT cluster ordering
+// client requests over the NIO stack vs the RUBIN stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rubin/internal/bench"
+	"rubin/internal/model"
+)
+
+func main() {
+	payloads := flag.String("payloads", "1,4,16", "request payload sizes in KB")
+	flag.Parse()
+
+	kbs, err := parseKBs(*payloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bftbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("E5 — BFT agreement over RUBIN vs Java NIO (4 replicas, f=1, PBFT)")
+	fmt.Println()
+	latency, throughput, err := bench.BFTTables(kbs, model.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bftbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(latency.Render())
+	fmt.Println(throughput.Render())
+}
+
+func parseKBs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		kb, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || kb < 1 {
+			return nil, fmt.Errorf("bad payload %q", part)
+		}
+		out = append(out, kb)
+	}
+	return out, nil
+}

@@ -1,0 +1,50 @@
+// Command fig3bench regenerates Figure 3 of the paper: the two-machine
+// echo micro-benchmark comparing TCP, RDMA Send/Recv, RDMA Read/Write and
+// the optimized RDMA Channel, reporting latency (3a) and throughput (3b)
+// over payloads of 1–100 KB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rubin/internal/bench"
+	"rubin/internal/model"
+)
+
+func main() {
+	payloads := flag.String("payloads", "1,2,4,8,16,32,64,100", "payload sizes in KB, comma separated")
+	flag.Parse()
+
+	kbs, err := parseKBs(*payloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig3bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Figure 3 — RDMA channel micro-benchmark")
+	fmt.Println("(simulated testbed: two 4-core hosts, 10 Gbps RoCE-style link; see DESIGN.md)")
+	fmt.Println()
+	latency, throughput, err := bench.Fig3Tables(kbs, model.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig3bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(latency.Render())
+	fmt.Println(throughput.Render())
+}
+
+func parseKBs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		kb, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || kb < 1 {
+			return nil, fmt.Errorf("bad payload %q", part)
+		}
+		out = append(out, kb)
+	}
+	return out, nil
+}

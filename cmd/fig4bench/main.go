@@ -1,0 +1,50 @@
+// Command fig4bench regenerates Figure 4 of the paper: an echo server on
+// the Reptor communication stack comparing the RUBIN selector with the
+// Java-NIO-style selector (window size 30, batching 10), reporting latency
+// (4a) and throughput (4b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rubin/internal/bench"
+	"rubin/internal/model"
+)
+
+func main() {
+	payloads := flag.String("payloads", "1,10,20,40,60,80,100", "payload sizes in KB, comma separated")
+	flag.Parse()
+
+	kbs, err := parseKBs(*payloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig4bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Figure 4 — RUBIN selector vs Java NIO selector over the Reptor stack")
+	fmt.Println("(window 30, batch 10, per the paper's measurement)")
+	fmt.Println()
+	latency, throughput, err := bench.Fig4Tables(kbs, model.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig4bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(latency.Render())
+	fmt.Println(throughput.Render())
+}
+
+func parseKBs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		kb, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || kb < 1 {
+			return nil, fmt.Errorf("bad payload %q", part)
+		}
+		out = append(out, kb)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Example blockchain: a permissioned blockchain whose consensus layer is
+// PBFT over RDMA — the deployment the paper's introduction motivates.
+// Transactions are ordered by the replica group and sealed into
+// hash-chained blocks; every replica builds the identical chain.
+//
+// Run with: go run ./examples/blockchain
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"rubin/internal/auth"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/transport"
+)
+
+// blockSize is how many transactions seal a block.
+const blockSize = 4
+
+// Block is one sealed element of the chain.
+type Block struct {
+	Height   int
+	PrevHash auth.Digest
+	Hash     auth.Digest
+	Txs      []string
+}
+
+// Ledger is the replicated state machine: it orders transactions into
+// hash-chained blocks. It implements pbft.Application.
+type Ledger struct {
+	chain   []Block
+	pending []string
+}
+
+// Execute appends one transaction and seals a block when full.
+func (l *Ledger) Execute(op []byte) []byte {
+	l.pending = append(l.pending, string(op))
+	if len(l.pending) >= blockSize {
+		l.seal()
+	}
+	return []byte(fmt.Sprintf("accepted@%d", len(l.chain)))
+}
+
+func (l *Ledger) seal() {
+	var prev auth.Digest
+	if n := len(l.chain); n > 0 {
+		prev = l.chain[n-1].Hash
+	}
+	var buf []byte
+	buf = append(buf, prev[:]...)
+	for _, tx := range l.pending {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx)))
+		buf = append(buf, tx...)
+	}
+	l.chain = append(l.chain, Block{
+		Height:   len(l.chain),
+		PrevHash: prev,
+		Hash:     auth.Hash(buf),
+		Txs:      l.pending,
+	})
+	l.pending = nil
+}
+
+// Snapshot digests the chain head (pbft.Application).
+func (l *Ledger) Snapshot() auth.Digest {
+	if len(l.chain) == 0 {
+		return auth.Digest{}
+	}
+	return l.chain[len(l.chain)-1].Hash
+}
+
+func main() {
+	cfg := pbft.DefaultConfig()
+	cfg.BatchSize = 1 // one consensus slot per transaction for clarity
+	cluster, err := pbft.NewCluster(transport.KindRDMA, cfg, model.Default(), 7,
+		func(i int) pbft.Application { return &Ledger{} })
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	client, err := cluster.AddClient()
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+
+	txs := []string{
+		"alice->bob:10", "bob->carol:4", "carol->dave:1", "dave->alice:7",
+		"bob->alice:2", "carol->bob:3", "alice->dave:5", "dave->carol:6",
+	}
+	loop := cluster.Loop
+	confirmed := 0
+	loop.Post(func() {
+		for _, tx := range txs {
+			tx := tx
+			t0 := loop.Now()
+			client.Invoke([]byte(tx), func(result []byte) {
+				confirmed++
+				fmt.Printf("tx %-16s %-12s confirmation time %v\n", tx, result, loop.Now()-t0)
+			})
+		}
+	})
+	loop.Run()
+
+	fmt.Printf("\n%d/%d transactions confirmed (BFT consensus finality — no forks possible)\n\n", confirmed, len(txs))
+	ledger := cluster.Apps[0].(*Ledger)
+	fmt.Println("chain at replica 0:")
+	for _, b := range ledger.chain {
+		fmt.Printf("  block %d  hash=%s  prev=%s  txs=%v\n", b.Height, b.Hash.Short(), b.PrevHash.Short(), b.Txs)
+	}
+	fmt.Println("\nchain heads (must all match):")
+	for i, app := range cluster.Apps {
+		fmt.Printf("  replica %d: %s (%d blocks)\n", i, app.Snapshot().Short(), len(app.(*Ledger).chain))
+	}
+}

@@ -1,0 +1,78 @@
+// Example byzantine: fault injection against the replicated store. The
+// leader of view 0 crashes mid-workload; the remaining replicas detect the
+// silence via request timers, run a view change, and the new leader
+// finishes the workload — no client request is lost and no state diverges.
+//
+// Run with: go run ./examples/byzantine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+func main() {
+	cluster, err := pbft.NewCluster(transport.KindRDMA, pbft.DefaultConfig(), model.Default(), 11,
+		func(i int) pbft.Application { return kvstore.New() })
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	if err := cluster.Start(); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	client, err := cluster.AddClient()
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	loop := cluster.Loop
+
+	for i, rep := range cluster.Replicas {
+		i := i
+		rep.OnViewChange(func(v uint64) {
+			fmt.Printf("t=%v replica %d installed view %d (new leader: replica %d)\n",
+				loop.Now(), i, v, v%4)
+		})
+	}
+
+	fmt.Println("phase 1: healthy cluster, leader = replica 0")
+	done := 0
+	loop.Post(func() {
+		for k := 0; k < 3; k++ {
+			key := fmt.Sprintf("pre-%d", k)
+			client.Invoke(kvstore.EncodeOp(kvstore.OpPut, key, "ok"), func([]byte) { done++ })
+		}
+	})
+	loop.Run()
+	fmt.Printf("  %d requests committed in view 0\n\n", done)
+
+	fmt.Println("phase 2: leader (replica 0) crashes; submitting more requests")
+	cluster.Replicas[0].SetFaults(pbft.Faults{Crashed: true})
+	loop.Post(func() {
+		for k := 0; k < 3; k++ {
+			key := fmt.Sprintf("post-%d", k)
+			t0 := loop.Now()
+			client.Invoke(kvstore.EncodeOp(kvstore.OpPut, key, "survived"), func([]byte) {
+				done++
+				fmt.Printf("t=%v request %s committed after view change (latency %v)\n", loop.Now(), key, loop.Now()-t0)
+			})
+		}
+	})
+	loop.RunUntil(loop.Now() + 500*sim.Millisecond)
+
+	fmt.Printf("\ntotal committed: %d/6\n", done)
+	fmt.Println("state digests of live replicas (must match):")
+	for i := 1; i < 4; i++ {
+		fmt.Printf("  replica %d: %s  view=%d executed=%d\n",
+			i, cluster.Apps[i].Snapshot().Short(), cluster.Replicas[i].View(), cluster.Replicas[i].Executed())
+	}
+	if done != 6 {
+		log.Fatal("byzantine example failed: not all requests committed")
+	}
+	fmt.Println("\nthe cluster tolerated the fault: agreement continued under the new leader")
+}

@@ -1,0 +1,196 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rubin/internal/model"
+)
+
+func TestPairwiseKeysAreSymmetricAndDistinct(t *testing.T) {
+	rings := GenerateKeyrings(4, 42)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if rings[i].keys[j] != rings[j].keys[i] {
+				t.Fatalf("key(%d,%d) != key(%d,%d)", i, j, j, i)
+			}
+		}
+	}
+	if rings[0].keys[1] == rings[0].keys[2] {
+		t.Fatal("distinct pairs share a key")
+	}
+	if rings[0].Self() != 0 || rings[3].Self() != 3 || rings[0].N() != 4 {
+		t.Fatal("ring identity wrong")
+	}
+}
+
+func TestKeyringsDeterministicPerSeed(t *testing.T) {
+	a := GenerateKeyrings(3, 7)
+	b := GenerateKeyrings(3, 7)
+	c := GenerateKeyrings(3, 8)
+	if a[0].keys[1] != b[0].keys[1] {
+		t.Fatal("same seed must give same keys")
+	}
+	if a[0].keys[1] == c[0].keys[1] {
+		t.Fatal("different seeds must give different keys")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	rings := GenerateKeyrings(2, 1)
+	msg := []byte("pre-prepare v0 n7")
+	mac := rings[0].MAC(1, msg)
+	if !rings[1].Verify(0, msg, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if rings[1].Verify(0, []byte("tampered"), mac) {
+		t.Fatal("tampered message accepted")
+	}
+	mac[0] ^= 0xFF
+	if rings[1].Verify(0, msg, mac) {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestVerifyRejectsBadPeerIndices(t *testing.T) {
+	rings := GenerateKeyrings(3, 1)
+	msg := []byte("m")
+	mac := rings[0].MAC(1, msg)
+	if rings[1].Verify(-1, msg, mac) || rings[1].Verify(3, msg, mac) || rings[1].Verify(1, msg, mac) {
+		t.Fatal("invalid peer index accepted")
+	}
+}
+
+func TestAuthenticatorVerifiesAtEveryReplica(t *testing.T) {
+	const n = 4
+	rings := GenerateKeyrings(n, 9)
+	msg := []byte("commit v1 n19")
+	a := rings[2].Authenticate(msg)
+	if len(a) != n {
+		t.Fatalf("authenticator has %d entries, want %d", len(a), n)
+	}
+	if a[2] != nil {
+		t.Fatal("sender's own entry should be empty")
+	}
+	for r := 0; r < n; r++ {
+		if r == 2 {
+			continue
+		}
+		if !rings[r].VerifyFrom(2, msg, a) {
+			t.Fatalf("replica %d rejected a valid authenticator", r)
+		}
+	}
+	// A faulty replica cannot reuse replica 2's authenticator for a
+	// different message.
+	for r := 0; r < n; r++ {
+		if r == 2 {
+			continue
+		}
+		if rings[r].VerifyFrom(2, []byte("forged"), a) {
+			t.Fatalf("replica %d accepted a forged message", r)
+		}
+	}
+}
+
+func TestVerifyFromRejectsWrongSender(t *testing.T) {
+	rings := GenerateKeyrings(4, 9)
+	msg := []byte("m")
+	a := rings[2].Authenticate(msg)
+	// Replica 1 claims the message came from replica 3: MAC mismatch.
+	if rings[0].VerifyFrom(3, msg, a) {
+		t.Fatal("authenticator accepted under wrong sender identity")
+	}
+	if rings[0].VerifyFrom(-1, msg, a) || rings[0].VerifyFrom(4, msg, a) {
+		t.Fatal("out-of-range sender accepted")
+	}
+}
+
+func TestHashIsStableAndSensitive(t *testing.T) {
+	d1 := Hash([]byte("block 1"))
+	d2 := Hash([]byte("block 1"))
+	d3 := Hash([]byte("block 2"))
+	if d1 != d2 {
+		t.Fatal("hash not deterministic")
+	}
+	if d1 == d3 {
+		t.Fatal("hash collision on different input")
+	}
+	if d1.Short() == "" || len(d1.Short()) != 12 {
+		t.Fatalf("Short() = %q", d1.Short())
+	}
+}
+
+func TestCostsScale(t *testing.T) {
+	p := model.Default().Crypto
+	if Cost(p, 100<<10) <= Cost(p, 1<<10) {
+		t.Fatal("HMAC cost must grow with size")
+	}
+	if DigestCost(p, 100<<10) <= DigestCost(p, 1<<10) {
+		t.Fatal("digest cost must grow with size")
+	}
+	if AuthenticatorCost(p, 4, 1024) != 3*Cost(p, 1024) {
+		t.Fatal("authenticator cost should be (n-1) HMACs")
+	}
+	if AuthenticatorCost(p, 1, 1024) != 0 {
+		t.Fatal("single-replica authenticator should cost nothing")
+	}
+}
+
+func TestAuthenticatorSize(t *testing.T) {
+	rings := GenerateKeyrings(4, 1)
+	a := rings[0].Authenticate([]byte("m"))
+	if a.Size() != 3*MACSize {
+		t.Fatalf("Size = %d, want %d", a.Size(), 3*MACSize)
+	}
+}
+
+// Property: every replica verifies every other replica's authenticator
+// over arbitrary messages; no replica verifies a flipped-bit message.
+func TestPropertyAuthenticatorSoundness(t *testing.T) {
+	rings := GenerateKeyrings(4, 123)
+	prop := func(msg []byte, flip uint8) bool {
+		if len(msg) == 0 {
+			msg = []byte{0}
+		}
+		sender := int(flip) % 4
+		a := rings[sender].Authenticate(msg)
+		for r := 0; r < 4; r++ {
+			if r == sender {
+				continue
+			}
+			if !rings[r].VerifyFrom(sender, msg, a) {
+				return false
+			}
+		}
+		bad := bytes.Clone(msg)
+		bad[int(flip)%len(bad)] ^= 1 << (flip % 8)
+		if bytes.Equal(bad, msg) {
+			return true
+		}
+		for r := 0; r < 4; r++ {
+			if r == sender {
+				continue
+			}
+			if rings[r].VerifyFrom(sender, bad, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateKeyringsPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GenerateKeyrings(0, 1)
+}

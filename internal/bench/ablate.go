@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/rubin"
+)
+
+// Ablation names one configuration variant of the RUBIN channel; the
+// ablation bench (experiment E6) quantifies each Section IV optimization
+// by disabling it in isolation.
+type Ablation struct {
+	Name   string
+	Mutate func(*model.Params, *rubin.Config)
+}
+
+// Ablations returns the studied variants.
+func Ablations() []Ablation {
+	return []Ablation{
+		{Name: "full (all optimizations)", Mutate: nil},
+		{Name: "no selective signaling", Mutate: func(p *model.Params, c *rubin.Config) {
+			c.SignalInterval = 1
+		}},
+		{Name: "no doorbell batching", Mutate: func(p *model.Params, c *rubin.Config) {
+			c.PostBatch = 1
+		}},
+		{Name: "no inline sends", Mutate: func(p *model.Params, c *rubin.Config) {
+			c.Inline = false
+		}},
+		{Name: "zero-copy receive (projected)", Mutate: func(p *model.Params, c *rubin.Config) {
+			c.ZeroCopyReceive = true
+		}},
+	}
+}
+
+// AblationTable measures the channel echo under every variant for the
+// given payloads, reporting mean round-trip latency in µs.
+func AblationTable(payloadsKB []int, params model.Params) (*metrics.Table, error) {
+	tab := metrics.NewTable("E6: RUBIN channel ablations", "payload_kb", "latency µs")
+	for _, ab := range Ablations() {
+		series := tab.AddSeries(ab.Name)
+		for _, kb := range payloadsKB {
+			p := params
+			cfg := DefaultEchoConfig(kb << 10)
+			// Saturate the selector thread so per-message overheads are
+			// on the critical path (idle gaps would otherwise hide them).
+			cfg.Window = 8
+			var mutate func(*rubin.Config)
+			if ab.Mutate != nil {
+				ab := ab
+				mutate = func(c *rubin.Config) { ab.Mutate(&p, c) }
+			}
+			res, err := echoChannelCfg(cfg, p, mutate)
+			if err != nil {
+				return nil, err
+			}
+			series.Add(float64(kb), res.MeanRT.Micros())
+		}
+	}
+	return tab, nil
+}

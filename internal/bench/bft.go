@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// BFTConfig parameterizes the fully-replicated-system evaluation (the
+// paper's stated future work, experiment E5): a 3F+1 PBFT cluster ordering
+// client requests over either transport stack.
+type BFTConfig struct {
+	Kind     transport.Kind
+	Payload  int // request operation size
+	Requests int // measured requests
+	Warmup   int
+	Window   int // client-side outstanding requests
+	Batch    int // PBFT batch size
+	N, F     int
+	Seed     int64
+}
+
+// DefaultBFTConfig returns the 4-replica, f=1 setup.
+func DefaultBFTConfig(kind transport.Kind, payload int) BFTConfig {
+	return BFTConfig{
+		Kind: kind, Payload: payload,
+		Requests: 150, Warmup: 20, Window: 16, Batch: 8,
+		N: 4, F: 1, Seed: 1,
+	}
+}
+
+// BFTResult is one measurement point of the replicated system.
+type BFTResult struct {
+	Kind       transport.Kind
+	Payload    int
+	MeanLat    sim.Time // client-observed request latency
+	P99Lat     sim.Time
+	Throughput float64 // requests per second
+}
+
+// RunBFT measures agreement latency and throughput of the full replicated
+// system for one configuration.
+func RunBFT(cfg BFTConfig, params model.Params) (BFTResult, error) {
+	pcfg := pbft.DefaultConfig()
+	pcfg.N, pcfg.F = cfg.N, cfg.F
+	pcfg.BatchSize = cfg.Batch
+	cluster, err := pbft.NewCluster(cfg.Kind, pcfg, params, cfg.Seed,
+		func(i int) pbft.Application { return kvstore.New() })
+	if err != nil {
+		return BFTResult{}, err
+	}
+	if err := cluster.Start(); err != nil {
+		return BFTResult{}, err
+	}
+	client, err := cluster.AddClient()
+	if err != nil {
+		return BFTResult{}, err
+	}
+
+	loop := cluster.Loop
+	rec := metrics.NewRecorder()
+	value := string(make([]byte, cfg.Payload))
+	total := cfg.Requests + cfg.Warmup
+	sent, done := 0, 0
+	var startAt, endAt sim.Time
+
+	var sendOne func()
+	sendOne = func() {
+		if sent == cfg.Warmup {
+			startAt = loop.Now()
+		}
+		idx := sent
+		sent++
+		t0 := loop.Now()
+		op := kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("bench-%06d", idx), value)
+		client.Invoke(op, func([]byte) {
+			done++
+			if done > cfg.Warmup {
+				rec.Record(loop.Now() - t0)
+				endAt = loop.Now()
+			}
+			if sent < total {
+				sendOne()
+			}
+		})
+	}
+	loop.Post(func() {
+		for i := 0; i < cfg.Window && sent < total; i++ {
+			sendOne()
+		}
+	})
+	loop.Run()
+	if done != total {
+		return BFTResult{}, fmt.Errorf("bench: completed %d of %d requests", done, total)
+	}
+	return BFTResult{
+		Kind:       cfg.Kind,
+		Payload:    cfg.Payload,
+		MeanLat:    rec.Mean(),
+		P99Lat:     rec.Percentile(99),
+		Throughput: metrics.Throughput(rec.Count(), endAt-startAt),
+	}, nil
+}
+
+// BFTTables sweeps both transports over the payload list and returns the
+// agreement latency (µs) and throughput (req/s) tables of experiment E5.
+func BFTTables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
+	latency = metrics.NewTable("E5: BFT agreement latency (4 replicas, f=1)", "payload_kb", "latency µs")
+	throughput = metrics.NewTable("E5: BFT throughput (4 replicas, f=1)", "payload_kb", "req/s")
+	names := map[transport.Kind]string{transport.KindRDMA: "Reptor+RUBIN", transport.KindTCP: "Reptor+NIO"}
+	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
+		ls := latency.AddSeries(names[kind])
+		ts := throughput.AddSeries(names[kind])
+		for _, kb := range payloadsKB {
+			res, err := RunBFT(DefaultBFTConfig(kind, kb<<10), params)
+			if err != nil {
+				return nil, nil, err
+			}
+			ls.Add(float64(kb), res.MeanLat.Micros())
+			ts.Add(float64(kb), res.Throughput)
+		}
+	}
+	return latency, throughput, nil
+}

@@ -1,0 +1,582 @@
+// Package bench contains the experiment harnesses that regenerate the
+// paper's evaluation: Figure 3 (transport micro-benchmark), Figure 4
+// (RUBIN vs Java-NIO selector over the Reptor communication stack), the
+// full replicated-system evaluation the paper lists as future work, and
+// ablations of the Section IV optimizations.
+package bench
+
+import (
+	"fmt"
+
+	"rubin/internal/fabric"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/rdma"
+	"rubin/internal/rubin"
+	"rubin/internal/sim"
+	"rubin/internal/tcpsim"
+)
+
+// Fig3Stack selects one series of Figure 3.
+type Fig3Stack string
+
+// The four series of Figure 3.
+const (
+	StackTCP      Fig3Stack = "TCP"
+	StackSendRecv Fig3Stack = "RDMA Send/Recv"
+	StackOneSided Fig3Stack = "RDMA Read/Write"
+	StackChannel  Fig3Stack = "RDMA Channel"
+)
+
+// Fig3Stacks returns the series in the paper's legend order.
+func Fig3Stacks() []Fig3Stack {
+	return []Fig3Stack{StackTCP, StackSendRecv, StackOneSided, StackChannel}
+}
+
+// EchoConfig parameterizes one echo measurement.
+type EchoConfig struct {
+	Payload  int // message size in bytes
+	Messages int // measured round trips
+	Warmup   int // unmeasured round trips
+	Window   int // outstanding messages (the paper streams 1000 msgs)
+	Seed     int64
+}
+
+// DefaultEchoConfig mirrors the paper's micro-benchmark: 1000 messages
+// exchanged per run with a small pipeline of outstanding requests.
+func DefaultEchoConfig(payload int) EchoConfig {
+	return EchoConfig{Payload: payload, Messages: 1000, Warmup: 50, Window: 3, Seed: 1}
+}
+
+// EchoResult is one measurement point.
+type EchoResult struct {
+	Stack      Fig3Stack
+	Payload    int
+	MeanRT     sim.Time // mean request round-trip latency
+	P99RT      sim.Time
+	Throughput float64 // requests per second (closed loop)
+}
+
+// RunFig3 measures one (stack, payload) point of Figure 3.
+func RunFig3(stack Fig3Stack, cfg EchoConfig, params model.Params) (EchoResult, error) {
+	switch stack {
+	case StackTCP:
+		return echoTCP(cfg, params)
+	case StackSendRecv:
+		return echoSendRecv(cfg, params)
+	case StackOneSided:
+		return echoOneSided(cfg, params)
+	case StackChannel:
+		return echoChannel(cfg, params)
+	default:
+		return EchoResult{}, fmt.Errorf("bench: unknown stack %q", stack)
+	}
+}
+
+// Fig3Tables sweeps all stacks over the payload list and returns the
+// latency (µs) and throughput (krps) tables of Figures 3a and 3b.
+func Fig3Tables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
+	latency = metrics.NewTable("Figure 3a: echo latency", "payload_kb", "latency µs")
+	throughput = metrics.NewTable("Figure 3b: echo throughput", "payload_kb", "krps")
+	for _, stack := range Fig3Stacks() {
+		ls := latency.AddSeries(string(stack))
+		ts := throughput.AddSeries(string(stack))
+		for _, kb := range payloadsKB {
+			res, err := RunFig3(stack, DefaultEchoConfig(kb<<10), params)
+			if err != nil {
+				return nil, nil, err
+			}
+			ls.Add(float64(kb), res.MeanRT.Micros())
+			ts.Add(float64(kb), res.Throughput/1000)
+		}
+	}
+	return latency, throughput, nil
+}
+
+// twoNodes builds the two-machine testbed of the paper's evaluation.
+func twoNodes(seed int64, params model.Params) (*sim.Loop, *fabric.Node, *fabric.Node) {
+	loop := sim.NewLoop(seed)
+	nw := fabric.New(loop, params)
+	a, b := nw.AddNode("client"), nw.AddNode("server")
+	nw.Connect(a, b)
+	return loop, a, b
+}
+
+// echoDriver runs the common closed-loop measurement: send() transmits one
+// payload; the transport calls completed() per finished round trip.
+type echoDriver struct {
+	loop     *sim.Loop
+	cfg      EchoConfig
+	rec      *metrics.Recorder
+	sendFn   func()
+	started  []sim.Time
+	inFlight int
+	sent     int
+	done     int
+	startAt  sim.Time
+	endAt    sim.Time
+}
+
+func newEchoDriver(loop *sim.Loop, cfg EchoConfig) *echoDriver {
+	return &echoDriver{loop: loop, cfg: cfg, rec: metrics.NewRecorder()}
+}
+
+func (d *echoDriver) total() int { return d.cfg.Messages + d.cfg.Warmup }
+
+// start primes the pipeline with Window outstanding messages.
+func (d *echoDriver) start(send func()) {
+	d.sendFn = send
+	for i := 0; i < d.cfg.Window && d.sent < d.total(); i++ {
+		d.sendOne()
+	}
+}
+
+func (d *echoDriver) sendOne() {
+	if d.sent == d.cfg.Warmup {
+		d.startAt = d.loop.Now()
+	}
+	d.sent++
+	d.started = append(d.started, d.loop.Now())
+	d.sendFn()
+}
+
+// completed records one round trip and refills the pipeline.
+func (d *echoDriver) completed() {
+	if len(d.started) == 0 {
+		return
+	}
+	t0 := d.started[0]
+	d.started = d.started[1:]
+	d.done++
+	if d.done > d.cfg.Warmup {
+		d.rec.Record(d.loop.Now() - t0)
+		d.endAt = d.loop.Now()
+	}
+	if d.sent < d.total() {
+		d.sendOne()
+	}
+}
+
+func (d *echoDriver) result(stack Fig3Stack) EchoResult {
+	elapsed := d.endAt - d.startAt
+	return EchoResult{
+		Stack:      stack,
+		Payload:    d.cfg.Payload,
+		MeanRT:     d.rec.Mean(),
+		P99RT:      d.rec.Percentile(99),
+		Throughput: metrics.Throughput(d.rec.Count(), elapsed),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP series: raw simulated sockets (no selector), byte-counted echo.
+// ---------------------------------------------------------------------------
+
+func echoTCP(cfg EchoConfig, params model.Params) (EchoResult, error) {
+	loop, cn, sn := twoNodes(cfg.Seed, params)
+	cs, ss := tcpsim.NewStack(cn), tcpsim.NewStack(sn)
+
+	var serverConn *tcpsim.Conn
+	if _, err := ss.Listen(9, func(c *tcpsim.Conn) { serverConn = c }); err != nil {
+		return EchoResult{}, err
+	}
+	var clientConn *tcpsim.Conn
+	var dialErr error
+	loop.At(0, func() {
+		cs.Dial(sn, 9, func(c *tcpsim.Conn, err error) {
+			clientConn, dialErr = c, err
+		})
+	})
+	loop.Run()
+	if dialErr != nil || clientConn == nil || serverConn == nil {
+		return EchoResult{}, fmt.Errorf("bench: tcp setup failed: %v", dialErr)
+	}
+
+	d := newEchoDriver(loop, cfg)
+	payload := make([]byte, cfg.Payload)
+	buf := make([]byte, 256<<10)
+
+	// Server: echo every byte back.
+	serverConn.OnReadable(func() {
+		for {
+			n, _ := serverConn.Read(buf)
+			if n == 0 {
+				return
+			}
+			rest := buf[:n]
+			for len(rest) > 0 {
+				w, _ := serverConn.Write(rest)
+				if w == 0 {
+					return // window closed; rely on further reads to drain
+				}
+				rest = rest[w:]
+			}
+		}
+	})
+
+	// Client: count echoed bytes; every Payload bytes completes one RT.
+	echoed := 0
+	clientConn.OnReadable(func() {
+		for {
+			n, _ := clientConn.Read(buf)
+			if n == 0 {
+				return
+			}
+			echoed += n
+			for echoed >= cfg.Payload {
+				echoed -= cfg.Payload
+				d.completed()
+			}
+		}
+	})
+
+	loop.Post(func() {
+		d.start(func() {
+			rest := payload
+			for len(rest) > 0 {
+				w, _ := clientConn.Write(rest)
+				if w == 0 {
+					break
+				}
+				rest = rest[w:]
+			}
+		})
+	})
+	loop.Run()
+	return d.result(StackTCP), nil
+}
+
+// ---------------------------------------------------------------------------
+// RDMA Send/Recv series: raw verbs, every send signaled, explicit staging
+// copies — the unoptimized two-sided baseline of the paper.
+// ---------------------------------------------------------------------------
+
+func echoSendRecv(cfg EchoConfig, params model.Params) (EchoResult, error) {
+	loop, cn, sn := twoNodes(cfg.Seed, params)
+	cd, sd := rdma.OpenDevice(cn), rdma.OpenDevice(sn)
+	// One application thread per side, as in a verbs echo benchmark.
+	ct := sim.NewResource(loop, "client/app", 1)
+	st := sim.NewResource(loop, "server/app", 1)
+
+	qprs, err := connectQPs(loop, cd, sd, cfg)
+	if err != nil {
+		return EchoResult{}, err
+	}
+	cqp, sqp := qprs.client, qprs.server
+	cqp.SetWorkThread(ct)
+	sqp.SetWorkThread(st)
+	qprs.clientSendCQ.SetWorkThread(ct)
+	qprs.clientRecvCQ.SetWorkThread(ct)
+	qprs.serverSendCQ.SetWorkThread(st)
+	qprs.serverRecvCQ.SetWorkThread(st)
+
+	d := newEchoDriver(loop, cfg)
+
+	// Server: echo each received message straight from registered memory
+	// (perftest style: the raw verbs baseline does no staging copies);
+	// re-post the receive buffer afterwards.
+	serverSend := func(slot int, bytes int) {
+		wr := &rdma.SendWR{ID: uint64(slot), Op: rdma.OpSend,
+			MR: qprs.serverSendMR, Offset: slot * cfg.Payload, Length: bytes, Signaled: true}
+		_ = sqp.PostSend(wr)
+	}
+	qprs.serverRecvCQ.OnEvent(func() {
+		for {
+			cqes := qprs.serverRecvCQ.Poll(16)
+			if cqes == nil {
+				break
+			}
+			for _, cqe := range cqes {
+				slot := int(cqe.WRID)
+				serverSend(slot, cqe.Bytes)
+				_ = sqp.PostRecv(rdma.RecvWR{ID: cqe.WRID, MR: qprs.serverRecvMR,
+					Offset: slot * cfg.Payload, Length: cfg.Payload})
+			}
+		}
+		qprs.serverRecvCQ.RequestNotify()
+	})
+	qprs.serverRecvCQ.RequestNotify()
+	// Pay for every signaled send completion individually — the naive
+	// baseline processes one completion event per message; this is the
+	// cost RUBIN's selective signaling amortizes away.
+	drainCQStrict(qprs.serverSendCQ, st, params)
+
+	// Client: completion of an echo per received message.
+	qprs.clientRecvCQ.OnEvent(func() {
+		for {
+			cqes := qprs.clientRecvCQ.Poll(16)
+			if cqes == nil {
+				break
+			}
+			for _, cqe := range cqes {
+				slot := int(cqe.WRID)
+				_ = cqp.PostRecv(rdma.RecvWR{ID: cqe.WRID, MR: qprs.clientRecvMR,
+					Offset: slot * cfg.Payload, Length: cfg.Payload})
+				d.completed()
+			}
+		}
+		qprs.clientRecvCQ.RequestNotify()
+	})
+	qprs.clientRecvCQ.RequestNotify()
+	drainCQStrict(qprs.clientSendCQ, ct, params)
+
+	sendSlot := 0
+	loop.Post(func() {
+		d.start(func() {
+			slot := sendSlot % qpSlots
+			sendSlot++
+			wr := &rdma.SendWR{ID: uint64(slot), Op: rdma.OpSend,
+				MR: qprs.clientSendMR, Offset: slot * cfg.Payload, Length: cfg.Payload, Signaled: true}
+			_ = cqp.PostSend(wr)
+		})
+	})
+	loop.Run()
+	return d.result(StackSendRecv), nil
+}
+
+// drainCQStrict keeps a completion queue empty, charging the full
+// completion-handling cost for every entry (no event coalescing): the
+// behaviour of an application that signals and processes every send.
+func drainCQStrict(cq *rdma.CQ, thread *sim.Resource, params model.Params) {
+	var pump func()
+	pump = func() {
+		drained := 0
+		for {
+			cqes := cq.Poll(16)
+			if cqes == nil {
+				break
+			}
+			drained += len(cqes)
+		}
+		if drained > 1 {
+			// The notification already charged one CompletionHandle;
+			// charge the rest so the cost stays strictly per message.
+			thread.Delay(params.RDMA.CompletionHandle * sim.Time(drained-1))
+		}
+		cq.RequestNotify()
+	}
+	cq.OnEvent(pump)
+	cq.RequestNotify()
+}
+
+const qpSlots = 64
+
+// qpPair bundles the verbs resources of a two-node echo.
+type qpPair struct {
+	client, server             *rdma.QP
+	clientSendCQ, clientRecvCQ *rdma.CQ
+	serverSendCQ, serverRecvCQ *rdma.CQ
+	clientSendMR, clientRecvMR *rdma.MR
+	serverSendMR, serverRecvMR *rdma.MR
+	clientRemoteMR             *rdma.MR // server-exposed region for one-sided ops
+	clientRemoteKey            uint32
+	clientLocalMR              *rdma.MR
+	clientDevice, serverDevice *rdma.Device
+	clientPD, serverPD         *rdma.PD
+	payload, slots             int
+}
+
+func connectQPs(loop *sim.Loop, cd, sd *rdma.Device, cfg EchoConfig) (*qpPair, error) {
+	p := &qpPair{payload: cfg.Payload, slots: qpSlots, clientDevice: cd, serverDevice: sd}
+	p.clientPD, p.serverPD = cd.AllocPD(), sd.AllocPD()
+	p.clientSendCQ, p.clientRecvCQ = cd.CreateCQ(2*qpSlots+8), cd.CreateCQ(2*qpSlots+8)
+	p.serverSendCQ, p.serverRecvCQ = sd.CreateCQ(2*qpSlots+8), sd.CreateCQ(2*qpSlots+8)
+
+	size := qpSlots * cfg.Payload
+	if size == 0 {
+		size = qpSlots
+	}
+	p.clientSendMR = p.clientPD.RegisterMR(size, rdma.AccessLocalWrite, nil)
+	p.clientRecvMR = p.clientPD.RegisterMR(size, rdma.AccessLocalWrite, nil)
+	p.serverSendMR = p.serverPD.RegisterMR(size, rdma.AccessLocalWrite, nil)
+	p.serverRecvMR = p.serverPD.RegisterMR(size, rdma.AccessLocalWrite, nil)
+	// One-sided target region on the server.
+	p.clientRemoteMR = p.serverPD.RegisterMR(size, rdma.AccessLocalWrite|rdma.AccessRemoteWrite|rdma.AccessRemoteRead, nil)
+	p.clientRemoteKey = p.clientRemoteMR.RKey()
+	p.clientLocalMR = p.clientSendMR
+
+	var server *rdma.QP
+	_, err := sd.ListenCM(9, p.serverPD, func() rdma.QPConfig {
+		return rdma.QPConfig{SendCQ: p.serverSendCQ, RecvCQ: p.serverRecvCQ, MaxSendWR: qpSlots, MaxRecvWR: qpSlots}
+	}, func(qp *rdma.QP) { server = qp })
+	if err != nil {
+		return nil, err
+	}
+	var client *rdma.QP
+	var dialErr error
+	loop.At(0, func() {
+		cd.ConnectCM(sd.Node(), 9, p.clientPD,
+			rdma.QPConfig{SendCQ: p.clientSendCQ, RecvCQ: p.clientRecvCQ, MaxSendWR: qpSlots, MaxRecvWR: qpSlots},
+			func(qp *rdma.QP, err error) { client, dialErr = qp, err })
+	})
+	loop.Run()
+	if dialErr != nil || client == nil || server == nil {
+		return nil, fmt.Errorf("bench: QP setup failed: %v", dialErr)
+	}
+	p.client, p.server = client, server
+	// Pre-post the full receive rings on both sides.
+	for i := 0; i < qpSlots; i++ {
+		off := i * cfg.Payload
+		if err := server.PostRecv(rdma.RecvWR{ID: uint64(i), MR: p.serverRecvMR, Offset: off, Length: cfg.Payload}); err != nil {
+			return nil, err
+		}
+		if err := client.PostRecv(rdma.RecvWR{ID: uint64(i), MR: p.clientRecvMR, Offset: off, Length: cfg.Payload}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------------
+// RDMA Read/Write series: one-sided writes, no server involvement — the
+// paper measures the client writing without waiting for an application
+// response.
+// ---------------------------------------------------------------------------
+
+func echoOneSided(cfg EchoConfig, params model.Params) (EchoResult, error) {
+	loop, cn, sn := twoNodes(cfg.Seed, params)
+	cd, sd := rdma.OpenDevice(cn), rdma.OpenDevice(sn)
+	ct := sim.NewResource(loop, "client/app", 1)
+
+	qprs, err := connectQPs(loop, cd, sd, cfg)
+	if err != nil {
+		return EchoResult{}, err
+	}
+	cqp := qprs.client
+	cqp.SetWorkThread(ct)
+	qprs.clientSendCQ.SetWorkThread(ct)
+
+	d := newEchoDriver(loop, cfg)
+
+	// Completion = hardware ack of the write; the server CPU never runs.
+	qprs.clientSendCQ.OnEvent(func() {
+		for {
+			cqes := qprs.clientSendCQ.Poll(16)
+			if cqes == nil {
+				break
+			}
+			for range cqes {
+				d.completed()
+			}
+		}
+		qprs.clientSendCQ.RequestNotify()
+	})
+	qprs.clientSendCQ.RequestNotify()
+
+	slotN := 0
+	loop.Post(func() {
+		d.start(func() {
+			slot := slotN % qpSlots
+			slotN++
+			off := slot * cfg.Payload
+			wr := &rdma.SendWR{ID: uint64(slot), Op: rdma.OpWrite,
+				MR: qprs.clientLocalMR, Offset: off, Length: cfg.Payload,
+				RemoteKey: qprs.clientRemoteKey, RemoteOffset: off, Signaled: true}
+			_ = cqp.PostSend(wr)
+		})
+	})
+	loop.Run()
+	return d.result(StackOneSided), nil
+}
+
+// ---------------------------------------------------------------------------
+// RDMA Channel series: the full RUBIN channel with all Section IV
+// optimizations (pre-registered pools, batched doorbells, selective
+// signaling, zero-copy send, inline small messages).
+// ---------------------------------------------------------------------------
+
+func echoChannel(cfg EchoConfig, params model.Params) (EchoResult, error) {
+	return echoChannelCfg(cfg, params, nil)
+}
+
+// echoChannelCfg allows ablations to mutate the channel configuration.
+func echoChannelCfg(cfg EchoConfig, params model.Params, mutate func(*rubin.Config)) (EchoResult, error) {
+	loop, cn, sn := twoNodes(cfg.Seed, params)
+	cd, sd := rdma.OpenDevice(cn), rdma.OpenDevice(sn)
+	selC, selS := rubin.NewSelector(cd), rubin.NewSelector(sd)
+
+	ccfg := rubin.DefaultConfig(params)
+	ccfg.BufferSize = cfg.Payload
+	if ccfg.BufferSize < 256 {
+		ccfg.BufferSize = 256
+	}
+	ccfg.SendWRs, ccfg.RecvWRs = qpSlots, qpSlots
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+
+	srv, err := rubin.Listen(sd, 9, ccfg)
+	if err != nil {
+		return EchoResult{}, err
+	}
+	var serverCh *rubin.Channel
+	selS.Register(srv, rubin.OpConnect, nil)
+	selS.Select(func(keys []*rubin.SelectionKey) {
+		for _, k := range keys {
+			switch ch := k.Channel().(type) {
+			case *rubin.ServerChannel:
+				if k.Ready()&rubin.OpConnect != 0 {
+					for {
+						c := ch.Accept()
+						if c == nil {
+							break
+						}
+						serverCh = c
+						selS.Register(c, rubin.OpReceive, nil)
+					}
+				}
+			case *rubin.Channel:
+				if k.Ready()&rubin.OpReceive != 0 {
+					for {
+						msg, ok := ch.Receive()
+						if !ok {
+							break
+						}
+						_ = ch.Send(msg)
+					}
+				}
+			}
+		}
+	})
+
+	var clientCh *rubin.Channel
+	var dialErr error
+	loop.At(0, func() {
+		_, dialErr = rubin.Connect(cd, sn, 9, ccfg, func(ch *rubin.Channel, err error) {
+			if err != nil {
+				dialErr = err
+				return
+			}
+			clientCh = ch
+		})
+	})
+	loop.Run()
+	if dialErr != nil || clientCh == nil || serverCh == nil {
+		return EchoResult{}, fmt.Errorf("bench: channel setup failed: %v", dialErr)
+	}
+
+	d := newEchoDriver(loop, cfg)
+	payload := make([]byte, cfg.Payload)
+	selC.Register(clientCh, rubin.OpReceive, nil)
+	selC.Select(func(keys []*rubin.SelectionKey) {
+		for _, k := range keys {
+			ch, ok := k.Channel().(*rubin.Channel)
+			if !ok || k.Ready()&rubin.OpReceive == 0 {
+				continue
+			}
+			for {
+				_, okMsg := ch.Receive()
+				if !okMsg {
+					break
+				}
+				d.completed()
+			}
+		}
+	})
+
+	loop.Post(func() {
+		d.start(func() { _ = clientCh.Send(payload) })
+	})
+	loop.Run()
+	return d.result(StackChannel), nil
+}

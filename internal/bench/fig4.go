@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"rubin/internal/fabric"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// Fig4Config parameterizes the selector-stack echo of Figure 4: an echo
+// server on the Reptor communication stack comparing the RUBIN selector
+// with the Java NIO selector, window size 30 and batching 10.
+type Fig4Config struct {
+	Payload  int
+	Messages int
+	Warmup   int
+	Window   int // outstanding requests (paper: 30)
+	Batch    int // messages coalesced per syscall/doorbell (paper: 10)
+	Seed     int64
+}
+
+// DefaultFig4Config returns the paper's measurement parameters.
+func DefaultFig4Config(payload int) Fig4Config {
+	return Fig4Config{Payload: payload, Messages: 1000, Warmup: 100, Window: 30, Batch: 10, Seed: 1}
+}
+
+// RunFig4 measures one (kind, payload) point: mean request latency and
+// closed-loop throughput through the full transport stack.
+func RunFig4(kind transport.Kind, cfg Fig4Config, params model.Params) (EchoResult, error) {
+	loop := sim.NewLoop(cfg.Seed)
+	nw := fabric.New(loop, params)
+	cn, sn := nw.AddNode("client"), nw.AddNode("server")
+	nw.Connect(cn, sn)
+
+	opts := transport.DefaultOptions()
+	opts.Batch = cfg.Batch
+	if cfg.Payload > opts.MaxMessage {
+		opts.MaxMessage = cfg.Payload
+	}
+	cs, err := transport.NewStack(kind, cn, opts)
+	if err != nil {
+		return EchoResult{}, err
+	}
+	ss, err := transport.NewStack(kind, sn, opts)
+	if err != nil {
+		return EchoResult{}, err
+	}
+
+	var serverConn transport.Conn
+	if err := ss.Listen(9, func(c transport.Conn) {
+		serverConn = c
+		c.OnMessage(func(msg []byte) { _ = c.Send(msg) })
+	}); err != nil {
+		return EchoResult{}, err
+	}
+	var clientConn transport.Conn
+	var dialErr error
+	loop.Post(func() {
+		cs.Dial(sn, 9, func(c transport.Conn, err error) { clientConn, dialErr = c, err })
+	})
+	loop.Run()
+	if dialErr != nil || clientConn == nil || serverConn == nil {
+		return EchoResult{}, fmt.Errorf("bench: fig4 setup failed: %v", dialErr)
+	}
+
+	d := newEchoDriver(loop, EchoConfig{
+		Payload: cfg.Payload, Messages: cfg.Messages, Warmup: cfg.Warmup, Window: cfg.Window, Seed: cfg.Seed,
+	})
+	clientConn.OnMessage(func(msg []byte) { d.completed() })
+	payload := make([]byte, cfg.Payload)
+	loop.Post(func() {
+		d.start(func() { _ = clientConn.Send(payload) })
+	})
+	loop.Run()
+	res := d.result(Fig3Stack(kind))
+	return res, nil
+}
+
+// Fig4Tables sweeps both stacks over the payload list and returns the
+// latency (µs) and throughput (requests/s) tables of Figures 4a and 4b.
+func Fig4Tables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
+	latency = metrics.NewTable("Figure 4a: selector-stack latency", "payload_kb", "latency µs")
+	throughput = metrics.NewTable("Figure 4b: selector-stack throughput", "payload_kb", "req/s")
+	names := map[transport.Kind]string{transport.KindRDMA: "Rubin", transport.KindTCP: "TCP"}
+	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
+		ls := latency.AddSeries(names[kind])
+		ts := throughput.AddSeries(names[kind])
+		for _, kb := range payloadsKB {
+			res, err := RunFig4(kind, DefaultFig4Config(kb<<10), params)
+			if err != nil {
+				return nil, nil, err
+			}
+			ls.Add(float64(kb), res.MeanRT.Micros())
+			ts.Add(float64(kb), res.Throughput)
+		}
+	}
+	return latency, throughput, nil
+}

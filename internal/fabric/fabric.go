@@ -1,0 +1,232 @@
+// Package fabric simulates the physical cluster: hosts with CPU and NIC
+// resources connected by full-duplex point-to-point links.
+//
+// The fabric is deliberately protocol-agnostic: it serializes opaque
+// payloads onto a link direction (FIFO, so delivery is in order per
+// direction), applies propagation delay, and hands frames to the protocol
+// handler registered at the destination node. The TCP and RDMA stacks on
+// top charge their own CPU/NIC costs before and after using the wire, which
+// keeps the comparison between stacks honest: both see the same link.
+package fabric
+
+import (
+	"fmt"
+
+	"rubin/internal/model"
+	"rubin/internal/sim"
+)
+
+// Protocol identifies which stack a frame belongs to; nodes register one
+// handler per protocol.
+type Protocol uint8
+
+// Protocols multiplexed over the fabric.
+const (
+	ProtoTCP Protocol = iota + 1
+	ProtoRDMA
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoRDMA:
+		return "rdma"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Handler receives frames delivered to a node.
+type Handler func(from *Node, payload any, wireBytes int)
+
+// DropFunc inspects a frame about to enter a link direction and reports
+// whether to drop it (fault injection). A nil DropFunc drops nothing.
+type DropFunc func(from, to *Node, payload any, wireBytes int) bool
+
+// Network is a set of nodes and links sharing one simulation loop and one
+// parameter set.
+type Network struct {
+	loop   *sim.Loop
+	params model.Params
+	nodes  map[string]*Node
+	links  map[linkKey]*Link
+}
+
+type linkKey struct{ a, b string }
+
+func orderedKey(a, b string) linkKey {
+	if a < b {
+		return linkKey{a, b}
+	}
+	return linkKey{b, a}
+}
+
+// New creates an empty network on the given loop.
+func New(loop *sim.Loop, params model.Params) *Network {
+	return &Network{
+		loop:   loop,
+		params: params,
+		nodes:  make(map[string]*Node),
+		links:  make(map[linkKey]*Link),
+	}
+}
+
+// Loop returns the simulation loop.
+func (nw *Network) Loop() *sim.Loop { return nw.loop }
+
+// Params returns the network's parameter set.
+func (nw *Network) Params() model.Params { return nw.params }
+
+// AddNode creates a node with the configured CPU core and NIC engine
+// counts. Node names must be unique.
+func (nw *Network) AddNode(name string) *Node {
+	if _, dup := nw.nodes[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate node %q", name))
+	}
+	n := &Node{
+		name:     name,
+		net:      nw,
+		CPU:      sim.NewResource(nw.loop, name+"/cpu", nw.params.Host.Cores),
+		NIC:      sim.NewResource(nw.loop, name+"/nic", nw.params.Host.NICEngines),
+		handlers: make(map[Protocol]Handler),
+	}
+	nw.nodes[name] = n
+	return n
+}
+
+// Node returns the named node, or nil if absent.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// Connect creates (or returns the existing) full-duplex link between two
+// nodes using the network's link parameters.
+func (nw *Network) Connect(a, b *Node) *Link {
+	if a == b {
+		panic("fabric: cannot link a node to itself")
+	}
+	key := orderedKey(a.name, b.name)
+	if l, ok := nw.links[key]; ok {
+		return l
+	}
+	l := &Link{
+		net:    nw,
+		a:      a,
+		b:      b,
+		params: nw.params.Link,
+		ab:     sim.NewResource(nw.loop, a.name+"->"+b.name, 1),
+		ba:     sim.NewResource(nw.loop, b.name+"->"+a.name, 1),
+	}
+	nw.links[key] = l
+	return l
+}
+
+// Link returns the link between two nodes, or nil if they are not connected.
+func (nw *Network) Link(a, b *Node) *Link {
+	return nw.links[orderedKey(a.name, b.name)]
+}
+
+// Send serializes a payload onto the link from one node to another and
+// schedules delivery to the destination's protocol handler. wireBytes is
+// the size charged on the wire (payload plus protocol framing). It returns
+// an error if the nodes are not connected or the destination has no handler
+// for the protocol.
+func (nw *Network) Send(from, to *Node, proto Protocol, payload any, wireBytes int) error {
+	link := nw.Link(from, to)
+	if link == nil {
+		return fmt.Errorf("fabric: no link %s -> %s", from.name, to.name)
+	}
+	if _, ok := to.handlers[proto]; !ok {
+		return fmt.Errorf("fabric: node %s has no %v handler", to.name, proto)
+	}
+	link.transmit(from, to, proto, payload, wireBytes)
+	return nil
+}
+
+// Node is one simulated host.
+type Node struct {
+	name string
+	net  *Network
+
+	// CPU is the host processor (Cores parallel servers). All software
+	// costs — syscalls, copies, kernel protocol processing, selector
+	// dispatch, BFT logic — are charged here.
+	CPU *sim.Resource
+
+	// NIC is the RDMA NIC's processing/DMA engine pool. RDMA data-path
+	// costs are charged here instead of the CPU: that asymmetry is the
+	// kernel-bypass / zero-copy advantage.
+	NIC *sim.Resource
+
+	handlers map[Protocol]Handler
+}
+
+// Name returns the node's unique name.
+func (n *Node) Name() string { return n.name }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// Loop returns the simulation loop.
+func (n *Node) Loop() *sim.Loop { return n.net.loop }
+
+// Register installs the handler for a protocol, replacing any previous one.
+func (n *Node) Register(proto Protocol, h Handler) {
+	if h == nil {
+		panic("fabric: nil handler")
+	}
+	n.handlers[proto] = h
+}
+
+// Link is a full-duplex point-to-point link.
+type Link struct {
+	net    *Network
+	a, b   *Node
+	params model.LinkParams
+	ab, ba *sim.Resource // one serialization server per direction
+
+	drop DropFunc
+
+	// Stats per link (both directions combined).
+	frames  uint64
+	bytes   uint64
+	dropped uint64
+}
+
+// SetDrop installs a fault-injection predicate; frames for which it returns
+// true vanish before entering the wire.
+func (l *Link) SetDrop(fn DropFunc) { l.drop = fn }
+
+// Frames returns the number of frames transmitted.
+func (l *Link) Frames() uint64 { return l.frames }
+
+// Bytes returns the number of payload bytes transmitted.
+func (l *Link) Bytes() uint64 { return l.bytes }
+
+// Dropped returns the number of frames removed by fault injection.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+func (l *Link) direction(from *Node) *sim.Resource {
+	if from == l.a {
+		return l.ab
+	}
+	return l.ba
+}
+
+func (l *Link) transmit(from, to *Node, proto Protocol, payload any, wireBytes int) {
+	if l.drop != nil && l.drop(from, to, payload, wireBytes) {
+		l.dropped++
+		return
+	}
+	l.frames++
+	l.bytes += uint64(wireBytes)
+	ser := l.params.SerializeTime(wireBytes)
+	prop := l.params.Propagation
+	loop := l.net.loop
+	l.direction(from).Acquire(ser, func() {
+		loop.After(prop, func() {
+			if h := to.handlers[proto]; h != nil {
+				h(from, payload, wireBytes)
+			}
+		})
+	})
+}

@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rubin/internal/model"
+	"rubin/internal/sim"
+)
+
+func testNet() (*sim.Loop, *Network) {
+	loop := sim.NewLoop(1)
+	return loop, New(loop, model.Default())
+}
+
+func TestSendDeliversInOrderWithDelay(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	nw.Connect(a, b)
+
+	var got []int
+	var at []sim.Time
+	b.Register(ProtoTCP, func(from *Node, p any, wb int) {
+		got = append(got, p.(int))
+		at = append(at, loop.Now())
+	})
+	loop.At(0, func() {
+		for i := 0; i < 5; i++ {
+			if err := nw.Send(a, b, ProtoTCP, i, 1500); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}
+	})
+	loop.Run()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d frames, want 5", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+	// First frame: serialize(1500+58) + 3µs propagation.
+	min := model.Default().Link.Propagation
+	if at[0] <= min {
+		t.Fatalf("first delivery at %v, want > propagation %v", at[0], min)
+	}
+	// Frames serialize back-to-back, so deliveries are strictly increasing.
+	for i := 1; i < len(at); i++ {
+		if at[i] <= at[i-1] {
+			t.Fatalf("deliveries not strictly ordered in time: %v", at)
+		}
+	}
+}
+
+func TestSendWithoutLinkFails(t *testing.T) {
+	_, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	b.Register(ProtoTCP, func(*Node, any, int) {})
+	if err := nw.Send(a, b, ProtoTCP, "x", 10); err == nil {
+		t.Fatal("Send without a link should fail")
+	}
+}
+
+func TestSendWithoutHandlerFails(t *testing.T) {
+	_, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	nw.Connect(a, b)
+	if err := nw.Send(a, b, ProtoTCP, "x", 10); err == nil {
+		t.Fatal("Send without a handler should fail")
+	}
+}
+
+func TestConnectIsIdempotent(t *testing.T) {
+	_, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	l1 := nw.Connect(a, b)
+	l2 := nw.Connect(b, a)
+	if l1 != l2 {
+		t.Fatal("Connect(a,b) and Connect(b,a) should return the same link")
+	}
+	if nw.Link(a, b) != l1 || nw.Link(b, a) != l1 {
+		t.Fatal("Link lookup should be direction-agnostic")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, nw := testNet()
+	nw.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate node")
+		}
+	}()
+	nw.AddNode("a")
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	_, nw := testNet()
+	a := nw.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for self link")
+		}
+	}()
+	nw.Connect(a, a)
+}
+
+func TestDropFunc(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	link := nw.Connect(a, b)
+	delivered := 0
+	b.Register(ProtoTCP, func(*Node, any, int) { delivered++ })
+	n := 0
+	link.SetDrop(func(from, to *Node, p any, wb int) bool {
+		n++
+		return n%2 == 0 // drop every second frame
+	})
+	loop.At(0, func() {
+		for i := 0; i < 10; i++ {
+			_ = nw.Send(a, b, ProtoTCP, i, 100)
+		}
+	})
+	loop.Run()
+	if delivered != 5 {
+		t.Fatalf("delivered %d, want 5", delivered)
+	}
+	if link.Dropped() != 5 {
+		t.Fatalf("Dropped() = %d, want 5", link.Dropped())
+	}
+	if link.Frames() != 5 {
+		t.Fatalf("Frames() = %d, want 5", link.Frames())
+	}
+}
+
+func TestDirectionsAreIndependent(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	nw.Connect(a, b)
+	var aAt, bAt sim.Time
+	a.Register(ProtoTCP, func(*Node, any, int) { aAt = loop.Now() })
+	b.Register(ProtoTCP, func(*Node, any, int) { bAt = loop.Now() })
+	loop.At(0, func() {
+		_ = nw.Send(a, b, ProtoTCP, "ab", 100000)
+		_ = nw.Send(b, a, ProtoTCP, "ba", 100000)
+	})
+	loop.Run()
+	if aAt == 0 || bAt == 0 {
+		t.Fatal("both directions should deliver")
+	}
+	if aAt != bAt {
+		t.Fatalf("full duplex broken: a at %v, b at %v", aAt, bAt)
+	}
+}
+
+func TestProtocolDemux(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	nw.Connect(a, b)
+	var tcp, rdma int
+	b.Register(ProtoTCP, func(*Node, any, int) { tcp++ })
+	b.Register(ProtoRDMA, func(*Node, any, int) { rdma++ })
+	loop.At(0, func() {
+		_ = nw.Send(a, b, ProtoTCP, 1, 10)
+		_ = nw.Send(a, b, ProtoRDMA, 2, 10)
+		_ = nw.Send(a, b, ProtoRDMA, 3, 10)
+	})
+	loop.Run()
+	if tcp != 1 || rdma != 2 {
+		t.Fatalf("demux wrong: tcp=%d rdma=%d", tcp, rdma)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoRDMA.String() != "rdma" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(9).String() != "proto(9)" {
+		t.Fatal("unknown protocol formatting wrong")
+	}
+}
+
+// Property: bigger frames never arrive earlier than smaller ones sent at the
+// same instant on an idle link (serialization is monotone in size).
+func TestPropertyLargerFramesArriveNoEarlier(t *testing.T) {
+	prop := func(s1, s2 uint16) bool {
+		small, big := int(s1)%60000, int(s2)%60000
+		if small > big {
+			small, big = big, small
+		}
+		arrival := func(size int) sim.Time {
+			loop := sim.NewLoop(1)
+			nw := New(loop, model.Default())
+			a, b := nw.AddNode("a"), nw.AddNode("b")
+			nw.Connect(a, b)
+			var at sim.Time
+			b.Register(ProtoTCP, func(*Node, any, int) { at = loop.Now() })
+			loop.At(0, func() { _ = nw.Send(a, b, ProtoTCP, nil, size) })
+			loop.Run()
+			return at
+		}
+		return arrival(small) <= arrival(big)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package kvstore is a deterministic key/value state machine used as the
+// replicated application in the execution stage of the BFT experiments:
+// identical operation sequences produce identical states and snapshots on
+// every replica.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rubin/internal/auth"
+)
+
+// OpCode identifies a state-machine operation.
+type OpCode uint8
+
+// Operations.
+const (
+	OpPut OpCode = iota + 1
+	OpGet
+	OpDelete
+)
+
+// Store is the key/value state machine. It implements pbft.Application.
+type Store struct {
+	data map[string]string
+
+	applied uint64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{data: make(map[string]string)} }
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.data) }
+
+// Applied returns the number of operations executed.
+func (s *Store) Applied() uint64 { return s.applied }
+
+// Get reads a key directly (local, not ordered — for inspection).
+func (s *Store) Get(key string) (string, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// EncodeOp serializes an operation for submission through the agreement
+// layer.
+func EncodeOp(code OpCode, key, value string) []byte {
+	buf := []byte{byte(code)}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+// DecodeOp parses an operation.
+func DecodeOp(op []byte) (code OpCode, key, value string, err error) {
+	if len(op) < 9 {
+		return 0, "", "", fmt.Errorf("kvstore: op too short (%d bytes)", len(op))
+	}
+	code = OpCode(op[0])
+	kl := int(binary.BigEndian.Uint32(op[1:5]))
+	if len(op) < 5+kl+4 {
+		return 0, "", "", fmt.Errorf("kvstore: truncated key")
+	}
+	key = string(op[5 : 5+kl])
+	vl := int(binary.BigEndian.Uint32(op[5+kl : 9+kl]))
+	if len(op) != 9+kl+vl {
+		return 0, "", "", fmt.Errorf("kvstore: truncated value")
+	}
+	value = string(op[9+kl : 9+kl+vl])
+	return code, key, value, nil
+}
+
+// Execute applies one ordered operation (pbft.Application).
+func (s *Store) Execute(op []byte) []byte {
+	s.applied++
+	code, key, value, err := DecodeOp(op)
+	if err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	switch code {
+	case OpPut:
+		s.data[key] = value
+		return []byte("OK")
+	case OpGet:
+		v, ok := s.data[key]
+		if !ok {
+			return []byte("NOTFOUND")
+		}
+		return []byte(v)
+	case OpDelete:
+		if _, ok := s.data[key]; !ok {
+			return []byte("NOTFOUND")
+		}
+		delete(s.data, key)
+		return []byte("OK")
+	default:
+		return []byte("ERR unknown op")
+	}
+}
+
+// Snapshot digests the full state deterministically (pbft.Application):
+// keys are hashed in sorted order so replicas with equal contents produce
+// equal digests regardless of map iteration order.
+func (s *Store) Snapshot() auth.Digest {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		v := s.data[k]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return auth.Hash(buf)
+}

@@ -1,0 +1,105 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if got := s.Execute(EncodeOp(OpPut, "k", "v1")); string(got) != "OK" {
+		t.Fatalf("put = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpGet, "k", "")); string(got) != "v1" {
+		t.Fatalf("get = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpPut, "k", "v2")); string(got) != "OK" {
+		t.Fatalf("overwrite = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpGet, "k", "")); string(got) != "v2" {
+		t.Fatalf("get after overwrite = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpDelete, "k", "")); string(got) != "OK" {
+		t.Fatalf("delete = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpGet, "k", "")); string(got) != "NOTFOUND" {
+		t.Fatalf("get after delete = %q", got)
+	}
+	if got := s.Execute(EncodeOp(OpDelete, "k", "")); string(got) != "NOTFOUND" {
+		t.Fatalf("double delete = %q", got)
+	}
+	if s.Applied() != 7 || s.Len() != 0 {
+		t.Fatalf("applied=%d len=%d", s.Applied(), s.Len())
+	}
+}
+
+func TestMalformedOps(t *testing.T) {
+	s := New()
+	for _, op := range [][]byte{nil, {1}, {1, 0, 0, 0, 99}, {99, 0, 0, 0, 0, 0, 0, 0, 0}} {
+		out := s.Execute(op)
+		if len(out) == 0 {
+			t.Fatalf("malformed op %v produced empty result", op)
+		}
+	}
+	// A malformed op must not mutate state.
+	if s.Len() != 0 {
+		t.Fatal("malformed op mutated state")
+	}
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	code, key, val, err := DecodeOp(EncodeOp(OpPut, "key-1", "value-1"))
+	if err != nil || code != OpPut || key != "key-1" || val != "value-1" {
+		t.Fatalf("round trip failed: %v %v %q %q", err, code, key, val)
+	}
+}
+
+func TestSnapshotDeterministicAcrossInsertOrder(t *testing.T) {
+	a, b := New(), New()
+	a.Execute(EncodeOp(OpPut, "x", "1"))
+	a.Execute(EncodeOp(OpPut, "y", "2"))
+	b.Execute(EncodeOp(OpPut, "y", "2"))
+	b.Execute(EncodeOp(OpPut, "x", "1"))
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatal("snapshot depends on insertion order")
+	}
+	b.Execute(EncodeOp(OpPut, "z", "3"))
+	if a.Snapshot() == b.Snapshot() {
+		t.Fatal("different states share a snapshot")
+	}
+}
+
+// Property: op encoding round-trips for arbitrary keys/values.
+func TestPropertyOpCodec(t *testing.T) {
+	prop := func(code uint8, key, value string) bool {
+		c := OpCode(code%3 + 1)
+		gc, gk, gv, err := DecodeOp(EncodeOp(c, key, value))
+		return err == nil && gc == c && gk == key && gv == value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two stores fed the identical op sequence agree on state digest
+// and on every result.
+func TestPropertyReplicaDeterminism(t *testing.T) {
+	prop := func(ops [][2]string, codes []uint8) bool {
+		a, b := New(), New()
+		for i, kv := range ops {
+			code := OpPut
+			if i < len(codes) {
+				code = OpCode(codes[i]%3 + 1)
+			}
+			op := EncodeOp(code, kv[0], kv[1])
+			if !bytes.Equal(a.Execute(op), b.Execute(op)) {
+				return false
+			}
+		}
+		return a.Snapshot() == b.Snapshot()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package metrics provides latency and throughput instrumentation for the
+// simulated experiments: recorders collect per-operation virtual-time
+// samples, and Series/Table format the sweep results the way the paper's
+// figures report them.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rubin/internal/sim"
+)
+
+// Recorder accumulates duration samples (virtual time).
+type Recorder struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sample.
+func (r *Recorder) Record(d sim.Time) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / sim.Time(len(r.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (r *Recorder) Min() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (r *Recorder) Max() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	return r.samples[len(r.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (r *Recorder) Percentile(p float64) sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
+	return r.samples[rank-1]
+}
+
+// Stddev returns the population standard deviation in nanoseconds.
+func (r *Recorder) Stddev() float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, s := range r.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+}
+
+func (r *Recorder) sort() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Throughput converts an operation count over a virtual duration into
+// operations per second.
+func Throughput(ops int, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// Point is one (x, y) sample of a sweep series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve of a figure, e.g. "TCP" latency vs payload.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// At returns the Y value at the given X, or NaN if absent.
+func (s *Series) At(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Table renders a set of series sharing an X axis as an aligned text table
+// — one row per X value, one column per series — the same rows the paper's
+// figures plot.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewTable creates a table with the given labels.
+func NewTable(title, xLabel, yLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddSeries appends a new named series and returns it.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// Get returns the named series, or nil.
+func (t *Table) Get(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s)\n", t.Title, t.YLabel)
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12.0f", x)
+		for _, s := range t.Series {
+			y := s.At(x)
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.2f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package pbft
+
+import (
+	"bytes"
+	"sort"
+
+	"rubin/internal/transport"
+)
+
+// Client invokes operations against a replica group and accepts a result
+// once F+1 matching replies arrive (at least one is from a correct
+// replica).
+type Client struct {
+	id    uint32
+	f     int
+	conns map[uint32]transport.Conn
+	next  uint64
+
+	pending map[uint64]*invocation
+
+	// Stats.
+	invoked, completed uint64
+}
+
+type invocation struct {
+	op      []byte
+	replies map[uint32][]byte // replica -> result
+	done    func(result []byte)
+	fired   bool
+}
+
+// NewClient creates a client. Attach replica connections with
+// AttachReplica before invoking.
+func NewClient(id uint32, f int) *Client {
+	return &Client{id: id, f: f, conns: make(map[uint32]transport.Conn), pending: make(map[uint64]*invocation)}
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() uint32 { return c.id }
+
+// Completed returns the number of finished invocations.
+func (c *Client) Completed() uint64 { return c.completed }
+
+// AttachReplica wires the connection to one replica and consumes replies.
+func (c *Client) AttachReplica(id uint32, conn transport.Conn) {
+	c.conns[id] = conn
+	conn.OnMessage(func(raw []byte) {
+		msg, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		rep, ok := msg.(Reply)
+		if !ok || rep.Client != c.id {
+			return
+		}
+		c.handleReply(rep)
+	})
+}
+
+// Invoke submits one operation to all replicas; done fires once F+1
+// matching replies arrive. (Production PBFT sends to the primary first
+// and broadcasts on timeout; broadcasting immediately is equivalent for
+// safety and simpler for a simulation client.)
+func (c *Client) Invoke(op []byte, done func(result []byte)) {
+	c.next++
+	ts := c.next
+	c.pending[ts] = &invocation{op: op, replies: make(map[uint32][]byte), done: done}
+	c.invoked++
+	req := Request{Client: c.id, Timestamp: ts, Op: op}
+	raw := Encode(req)
+	// Deterministic send order keeps simulations reproducible.
+	ids := make([]int, 0, len(c.conns))
+	for id := range c.conns {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		_ = c.conns[uint32(id)].Send(raw)
+	}
+}
+
+func (c *Client) handleReply(rep Reply) {
+	inv := c.pending[rep.Timestamp]
+	if inv == nil || inv.fired {
+		return
+	}
+	inv.replies[rep.Replica] = rep.Result
+	// Accept when F+1 replicas report the same result.
+	count := 0
+	for _, res := range inv.replies {
+		if bytes.Equal(res, rep.Result) {
+			count++
+		}
+	}
+	if count >= c.f+1 {
+		inv.fired = true
+		delete(c.pending, rep.Timestamp)
+		c.completed++
+		if inv.done != nil {
+			inv.done(rep.Result)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package pbft
+
+import (
+	"fmt"
+
+	"rubin/internal/auth"
+	"rubin/internal/fabric"
+	"rubin/internal/model"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// Ports used by cluster wiring.
+const (
+	PeerPort   = 1000
+	ClientPort = 2000
+)
+
+// Cluster assembles a full replica group plus clients over a chosen
+// transport backend on one simulation loop — the harness used by tests,
+// benchmarks and examples.
+type Cluster struct {
+	Loop     *sim.Loop
+	Network  *fabric.Network
+	Config   Config
+	Kind     transport.Kind
+	Replicas []*Replica
+	Stacks   []transport.Stack
+	Apps     []Application
+
+	clientNodes  []*fabric.Node
+	clientStacks []transport.Stack
+	Clients      []*Client
+}
+
+// NewCluster builds N replica nodes (full mesh), opens transport stacks of
+// the given kind, creates replicas running app instances from the factory,
+// and interconnects all replica pairs. Call Start to complete connection
+// setup, then AddClient.
+func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64, appFactory func(i int) Application) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	loop := sim.NewLoop(seed)
+	nw := fabric.New(loop, params)
+	c := &Cluster{Loop: loop, Network: nw, Config: cfg, Kind: kind}
+
+	opts := transport.DefaultOptions()
+	rings := auth.GenerateKeyrings(cfg.N, uint64(seed)+1)
+	for i := 0; i < cfg.N; i++ {
+		node := nw.AddNode(fmt.Sprintf("r%d", i))
+		st, err := transport.NewStack(kind, node, opts)
+		if err != nil {
+			return nil, err
+		}
+		app := appFactory(i)
+		rep, err := NewReplica(uint32(i), cfg, node, rings[i], app)
+		if err != nil {
+			return nil, err
+		}
+		c.Stacks = append(c.Stacks, st)
+		c.Replicas = append(c.Replicas, rep)
+		c.Apps = append(c.Apps, app)
+	}
+	// Full mesh links.
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			nw.Connect(nw.Node(fmt.Sprintf("r%d", i)), nw.Node(fmt.Sprintf("r%d", j)))
+		}
+	}
+	return c, nil
+}
+
+// Start listens on every replica and dials the full connection mesh,
+// running the loop until setup completes.
+func (c *Cluster) Start() error {
+	var setupErr error
+	for i, st := range c.Stacks {
+		rep := c.Replicas[i]
+		if err := st.Listen(PeerPort, func(conn transport.Conn) {
+			rep.AttachInbound(conn)
+		}); err != nil {
+			return err
+		}
+		if err := st.Listen(ClientPort, func(conn transport.Conn) {
+			rep.HandleClientConn(conn)
+		}); err != nil {
+			return err
+		}
+	}
+	dials := 0
+	for i := range c.Stacks {
+		for j := range c.Stacks {
+			if i == j {
+				continue
+			}
+			i, j := i, j
+			c.Loop.Post(func() {
+				c.Stacks[i].Dial(c.Network.Node(fmt.Sprintf("r%d", j)), PeerPort, func(conn transport.Conn, err error) {
+					if err != nil {
+						setupErr = fmt.Errorf("dial r%d->r%d: %w", i, j, err)
+						return
+					}
+					c.Replicas[i].AttachPeer(uint32(j), conn)
+					dials++
+				})
+			})
+		}
+	}
+	c.Loop.Run()
+	if setupErr != nil {
+		return setupErr
+	}
+	want := c.Config.N * (c.Config.N - 1)
+	if dials != want {
+		return fmt.Errorf("pbft: only %d of %d peer connections established", dials, want)
+	}
+	return nil
+}
+
+// AddClient creates a client on its own node, links it to every replica
+// and dials the client ports. Must run after Start.
+func (c *Cluster) AddClient() (*Client, error) {
+	id := uint32(100 + len(c.Clients))
+	node := c.Network.AddNode(fmt.Sprintf("client%d", id))
+	for i := 0; i < c.Config.N; i++ {
+		c.Network.Connect(node, c.Network.Node(fmt.Sprintf("r%d", i)))
+	}
+	st, err := transport.NewStack(c.Kind, node, transport.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cl := NewClient(id, c.Config.F)
+	var dialErr error
+	dials := 0
+	for i := 0; i < c.Config.N; i++ {
+		i := i
+		c.Loop.Post(func() {
+			st.Dial(c.Network.Node(fmt.Sprintf("r%d", i)), ClientPort, func(conn transport.Conn, err error) {
+				if err != nil {
+					dialErr = err
+					return
+				}
+				cl.AttachReplica(uint32(i), conn)
+				dials++
+			})
+		})
+	}
+	c.Loop.Run()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	if dials != c.Config.N {
+		return nil, fmt.Errorf("pbft: client connected to %d of %d replicas", dials, c.Config.N)
+	}
+	c.clientNodes = append(c.clientNodes, node)
+	c.clientStacks = append(c.clientStacks, st)
+	c.Clients = append(c.Clients, cl)
+	return cl, nil
+}
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d sim.Time) { c.Loop.RunUntil(c.Loop.Now() + d) }

@@ -1,0 +1,410 @@
+// Package pbft implements the Practical Byzantine Fault Tolerance protocol
+// (Castro & Liskov, OSDI '99) — the agreement protocol Reptor runs — over
+// the pluggable transport stacks, so the same replica code measures both
+// the Java-NIO baseline and RUBIN.
+//
+// The implementation covers the full normal-case three-phase protocol
+// (pre-prepare / prepare / commit) with request batching, HMAC
+// authenticators on every replica message, periodic checkpoints with log
+// garbage collection, and view changes driven by request timers. Fault
+// injection hooks (Faults) let tests exercise Byzantine leaders and
+// crashed replicas.
+package pbft
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rubin/internal/auth"
+)
+
+// MsgType discriminates protocol messages on the wire.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgPrePrepare
+	MsgPrepare
+	MsgCommit
+	MsgReply
+	MsgCheckpoint
+	MsgViewChange
+	MsgNewView
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "REQUEST"
+	case MsgPrePrepare:
+		return "PRE-PREPARE"
+	case MsgPrepare:
+		return "PREPARE"
+	case MsgCommit:
+		return "COMMIT"
+	case MsgReply:
+		return "REPLY"
+	case MsgCheckpoint:
+		return "CHECKPOINT"
+	case MsgViewChange:
+		return "VIEW-CHANGE"
+	case MsgNewView:
+		return "NEW-VIEW"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// Request is a client operation to be ordered and executed.
+type Request struct {
+	Client    uint32
+	Timestamp uint64 // client-local, provides exactly-once semantics
+	Op        []byte
+}
+
+// Key identifies a request for reply caching and timer bookkeeping.
+func (r Request) Key() string { return fmt.Sprintf("%d/%d", r.Client, r.Timestamp) }
+
+// PrePrepare is the leader's ordering proposal for one batch.
+type PrePrepare struct {
+	View   uint64
+	Seq    uint64
+	Digest auth.Digest // digest over the encoded batch
+	Batch  []Request
+}
+
+// Prepare is a backup's agreement echo for a proposal.
+type Prepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  auth.Digest
+	Replica uint32
+}
+
+// Commit finalizes a prepared proposal.
+type Commit struct {
+	View    uint64
+	Seq     uint64
+	Digest  auth.Digest
+	Replica uint32
+}
+
+// Reply carries an execution result back to the client.
+type Reply struct {
+	View      uint64
+	Timestamp uint64
+	Client    uint32
+	Replica   uint32
+	Result    []byte
+}
+
+// Checkpoint advertises a replica's state digest at a checkpoint sequence.
+type Checkpoint struct {
+	Seq     uint64
+	Digest  auth.Digest
+	Replica uint32
+}
+
+// PreparedProof summarizes one prepared-but-unexecuted slot for a view
+// change.
+type PreparedProof struct {
+	View   uint64
+	Seq    uint64
+	Digest auth.Digest
+	Batch  []Request
+}
+
+// ViewChange asks to move to a new view, carrying the prepared set above
+// the sender's last stable checkpoint.
+type ViewChange struct {
+	NewView  uint64
+	Stable   uint64
+	Prepared []PreparedProof
+	Replica  uint32
+}
+
+// NewView is the new leader's installation message re-proposing the
+// prepared slots.
+type NewView struct {
+	View        uint64
+	PrePrepares []PrePrepare
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+// Message is the union of all protocol payloads.
+type Message interface{ msgType() MsgType }
+
+func (Request) msgType() MsgType    { return MsgRequest }
+func (PrePrepare) msgType() MsgType { return MsgPrePrepare }
+func (Prepare) msgType() MsgType    { return MsgPrepare }
+func (Commit) msgType() MsgType     { return MsgCommit }
+func (Reply) msgType() MsgType      { return MsgReply }
+func (Checkpoint) msgType() MsgType { return MsgCheckpoint }
+func (ViewChange) msgType() MsgType { return MsgViewChange }
+func (NewView) msgType() MsgType    { return MsgNewView }
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) digest(d auth.Digest) { e.buf = append(e.buf, d[:]...) }
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("pbft: truncated message")
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.buf) < n || n < 0 {
+		d.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) digest() auth.Digest {
+	var out auth.Digest
+	if d.err != nil || len(d.buf) < auth.DigestSize {
+		d.fail()
+		return out
+	}
+	copy(out[:], d.buf[:auth.DigestSize])
+	d.buf = d.buf[auth.DigestSize:]
+	return out
+}
+
+func encodeRequests(e *encoder, reqs []Request) {
+	e.u32(uint32(len(reqs)))
+	for _, r := range reqs {
+		e.u32(r.Client)
+		e.u64(r.Timestamp)
+		e.bytes(r.Op)
+	}
+}
+
+func decodeRequests(d *decoder) []Request {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		d.fail()
+		return nil
+	}
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		r := Request{Client: d.u32(), Timestamp: d.u64(), Op: d.bytes()}
+		if d.err != nil {
+			return nil
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// Encode serializes a protocol message with its type tag.
+func Encode(m Message) []byte {
+	e := &encoder{}
+	e.u8(uint8(m.msgType()))
+	switch v := m.(type) {
+	case Request:
+		e.u32(v.Client)
+		e.u64(v.Timestamp)
+		e.bytes(v.Op)
+	case PrePrepare:
+		e.u64(v.View)
+		e.u64(v.Seq)
+		e.digest(v.Digest)
+		encodeRequests(e, v.Batch)
+	case Prepare:
+		e.u64(v.View)
+		e.u64(v.Seq)
+		e.digest(v.Digest)
+		e.u32(v.Replica)
+	case Commit:
+		e.u64(v.View)
+		e.u64(v.Seq)
+		e.digest(v.Digest)
+		e.u32(v.Replica)
+	case Reply:
+		e.u64(v.View)
+		e.u64(v.Timestamp)
+		e.u32(v.Client)
+		e.u32(v.Replica)
+		e.bytes(v.Result)
+	case Checkpoint:
+		e.u64(v.Seq)
+		e.digest(v.Digest)
+		e.u32(v.Replica)
+	case ViewChange:
+		e.u64(v.NewView)
+		e.u64(v.Stable)
+		e.u32(uint32(len(v.Prepared)))
+		for _, p := range v.Prepared {
+			e.u64(p.View)
+			e.u64(p.Seq)
+			e.digest(p.Digest)
+			encodeRequests(e, p.Batch)
+		}
+		e.u32(v.Replica)
+	case NewView:
+		e.u64(v.View)
+		e.u32(uint32(len(v.PrePrepares)))
+		for _, pp := range v.PrePrepares {
+			e.u64(pp.View)
+			e.u64(pp.Seq)
+			e.digest(pp.Digest)
+			encodeRequests(e, pp.Batch)
+		}
+	default:
+		panic(fmt.Sprintf("pbft: cannot encode %T", m))
+	}
+	return e.buf
+}
+
+// Decode parses a serialized protocol message.
+func Decode(raw []byte) (Message, error) {
+	d := &decoder{buf: raw}
+	t := MsgType(d.u8())
+	var m Message
+	switch t {
+	case MsgRequest:
+		m = Request{Client: d.u32(), Timestamp: d.u64(), Op: d.bytes()}
+	case MsgPrePrepare:
+		m = PrePrepare{View: d.u64(), Seq: d.u64(), Digest: d.digest(), Batch: decodeRequests(d)}
+	case MsgPrepare:
+		m = Prepare{View: d.u64(), Seq: d.u64(), Digest: d.digest(), Replica: d.u32()}
+	case MsgCommit:
+		m = Commit{View: d.u64(), Seq: d.u64(), Digest: d.digest(), Replica: d.u32()}
+	case MsgReply:
+		m = Reply{View: d.u64(), Timestamp: d.u64(), Client: d.u32(), Replica: d.u32(), Result: d.bytes()}
+	case MsgCheckpoint:
+		m = Checkpoint{Seq: d.u64(), Digest: d.digest(), Replica: d.u32()}
+	case MsgViewChange:
+		vc := ViewChange{NewView: d.u64(), Stable: d.u64()}
+		n := int(d.u32())
+		if d.err == nil && n >= 0 && n < 1<<20 {
+			for i := 0; i < n; i++ {
+				vc.Prepared = append(vc.Prepared, PreparedProof{
+					View: d.u64(), Seq: d.u64(), Digest: d.digest(), Batch: decodeRequests(d),
+				})
+			}
+		} else {
+			d.fail()
+		}
+		vc.Replica = d.u32()
+		m = vc
+	case MsgNewView:
+		nv := NewView{View: d.u64()}
+		n := int(d.u32())
+		if d.err == nil && n >= 0 && n < 1<<20 {
+			for i := 0; i < n; i++ {
+				nv.PrePrepares = append(nv.PrePrepares, PrePrepare{
+					View: d.u64(), Seq: d.u64(), Digest: d.digest(), Batch: decodeRequests(d),
+				})
+			}
+		} else {
+			d.fail()
+		}
+		m = nv
+	default:
+		return nil, fmt.Errorf("pbft: unknown message type %d", t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("pbft: %d trailing bytes", len(d.buf))
+	}
+	return m, nil
+}
+
+// BatchDigest computes the digest a pre-prepare commits to.
+func BatchDigest(batch []Request) auth.Digest {
+	e := &encoder{}
+	encodeRequests(e, batch)
+	return auth.Hash(e.buf)
+}
+
+// Envelope is the authenticated wrapper for replica-to-replica messages.
+type Envelope struct {
+	Sender  uint32
+	Payload []byte
+	Auth    auth.Authenticator
+}
+
+// EncodeEnvelope serializes an envelope.
+func EncodeEnvelope(env Envelope) []byte {
+	e := &encoder{}
+	e.u32(env.Sender)
+	e.bytes(env.Payload)
+	e.u32(uint32(len(env.Auth)))
+	for _, mac := range env.Auth {
+		e.bytes(mac)
+	}
+	return e.buf
+}
+
+// DecodeEnvelope parses an envelope.
+func DecodeEnvelope(raw []byte) (Envelope, error) {
+	d := &decoder{buf: raw}
+	env := Envelope{Sender: d.u32(), Payload: d.bytes()}
+	n := int(d.u32())
+	if d.err == nil && n >= 0 && n < 1<<16 {
+		for i := 0; i < n; i++ {
+			env.Auth = append(env.Auth, d.bytes())
+		}
+	} else {
+		d.fail()
+	}
+	if d.err != nil {
+		return Envelope{}, d.err
+	}
+	return env, nil
+}

@@ -1,0 +1,868 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+
+	"rubin/internal/auth"
+	"rubin/internal/fabric"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// Application is the replicated service executed by the agreement layer.
+type Application interface {
+	// Execute applies one ordered operation and returns its result.
+	Execute(op []byte) []byte
+	// Snapshot returns a digest of the current state (checkpoints).
+	Snapshot() auth.Digest
+}
+
+// Config tunes a replica group.
+type Config struct {
+	// N is the group size; F the tolerated faults. N must be >= 3F+1.
+	N, F int
+	// BatchSize is the maximum requests per pre-prepare.
+	BatchSize int
+	// BatchDelay bounds how long the leader waits to fill a batch.
+	BatchDelay sim.Time
+	// CheckpointEvery takes a checkpoint each K executed sequences.
+	CheckpointEvery uint64
+	// LogWindow is the high-watermark window above the stable
+	// checkpoint within which proposals are accepted.
+	LogWindow uint64
+	// ViewTimeout is how long a replica waits for a known request to
+	// execute before suspecting the leader.
+	ViewTimeout sim.Time
+	// InitialView lets multi-instance deployments (Reptor's COP) start
+	// each instance in a different view so leadership is spread across
+	// replicas.
+	InitialView uint64
+}
+
+// DefaultConfig returns a reasonable small-cluster configuration
+// tolerating one fault.
+func DefaultConfig() Config {
+	return Config{
+		N:               4,
+		F:               1,
+		BatchSize:       8,
+		BatchDelay:      200 * sim.Microsecond,
+		CheckpointEvery: 64,
+		LogWindow:       256,
+		ViewTimeout:     40 * sim.Millisecond,
+	}
+}
+
+// Validate checks the quorum arithmetic.
+func (c Config) Validate() error {
+	if c.N < 3*c.F+1 {
+		return fmt.Errorf("pbft: need N >= 3F+1, got N=%d F=%d", c.N, c.F)
+	}
+	if c.BatchSize < 1 || c.CheckpointEvery < 1 || c.LogWindow < c.CheckpointEvery {
+		return fmt.Errorf("pbft: invalid batching/checkpoint config")
+	}
+	return nil
+}
+
+// Quorum returns the 2F+1 agreement quorum size.
+func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// Faults injects Byzantine behaviours for testing (zero value = correct).
+type Faults struct {
+	// Crashed drops all outgoing messages.
+	Crashed bool
+	// Mute drops outgoing messages of these types.
+	Mute map[MsgType]bool
+	// EquivocateLeader makes a leader send pre-prepares with corrupted
+	// digests to half the backups (detected, triggers view change).
+	EquivocateLeader bool
+	// CorruptMACs invalidates outgoing authenticators.
+	CorruptMACs bool
+}
+
+// slot is one sequence number's agreement state.
+type slot struct {
+	view     uint64
+	pp       *PrePrepare
+	prepares map[uint32]auth.Digest
+	commits  map[uint32]auth.Digest
+	sentPrep bool
+	sentComm bool
+	executed bool
+}
+
+func newSlot() *slot {
+	return &slot{prepares: make(map[uint32]auth.Digest), commits: make(map[uint32]auth.Digest)}
+}
+
+// Replica is one PBFT group member.
+type Replica struct {
+	id      uint32
+	cfg     Config
+	node    *fabric.Node
+	keyring *auth.Keyring
+	app     Application
+	faults  Faults
+
+	// peers[i] is the connection used to send to replica i.
+	peers map[uint32]transport.Conn
+	// clientConns[c] is where replies to client c go.
+	clientConns map[uint32]transport.Conn
+
+	view     uint64
+	seqNext  uint64 // next sequence the leader assigns
+	log      map[uint64]*slot
+	executed uint64
+	stable   uint64
+
+	checkpoints map[uint64]map[uint32]auth.Digest
+	snapshots   map[uint64]auth.Digest // own checkpoint digests
+
+	// Leader batching.
+	pending    []Request
+	proposed   map[string]bool // request keys already assigned a slot
+	batchTimer *sim.Timer
+
+	// requestStore remembers every known-but-unexecuted request so a
+	// new leader can re-propose work the old leader dropped.
+	requestStore map[string]Request
+
+	// Exactly-once reply cache per client.
+	replyCache map[uint32]Reply
+
+	// Liveness: per-request timers and view-change state.
+	reqTimers    map[string]*sim.Timer
+	viewChanging bool
+	vcVotes      map[uint64]map[uint32]ViewChange
+
+	// Stats and hooks.
+	committedCount uint64
+	execBatches    uint64
+	onExecute      func(seq uint64, batch []Request)
+	onViewChange   func(newView uint64)
+}
+
+// NewReplica builds a replica. Connections are attached afterwards with
+// AttachPeer / client requests arrive via HandleClientConn.
+func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring, app Application) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replica{
+		id:           id,
+		cfg:          cfg,
+		node:         node,
+		keyring:      keyring,
+		app:          app,
+		view:         cfg.InitialView,
+		peers:        make(map[uint32]transport.Conn),
+		clientConns:  make(map[uint32]transport.Conn),
+		log:          make(map[uint64]*slot),
+		checkpoints:  make(map[uint64]map[uint32]auth.Digest),
+		snapshots:    make(map[uint64]auth.Digest),
+		proposed:     make(map[string]bool),
+		replyCache:   make(map[uint32]Reply),
+		reqTimers:    make(map[string]*sim.Timer),
+		vcVotes:      make(map[uint64]map[uint32]ViewChange),
+		requestStore: make(map[string]Request),
+	}, nil
+}
+
+// ID returns the replica identifier.
+func (r *Replica) ID() uint32 { return r.id }
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// Executed returns the last executed sequence number.
+func (r *Replica) Executed() uint64 { return r.executed }
+
+// Stable returns the last stable checkpoint sequence.
+func (r *Replica) Stable() uint64 { return r.stable }
+
+// LogSize returns the number of live slots (for GC assertions).
+func (r *Replica) LogSize() int { return len(r.log) }
+
+// SetFaults installs fault-injection behaviour.
+func (r *Replica) SetFaults(f Faults) { r.faults = f }
+
+// OnExecute installs a hook invoked after each executed batch.
+func (r *Replica) OnExecute(fn func(seq uint64, batch []Request)) { r.onExecute = fn }
+
+// OnViewChange installs a hook invoked when a new view is installed.
+func (r *Replica) OnViewChange(fn func(uint64)) { r.onViewChange = fn }
+
+// Leader returns the leader replica of a view.
+func (r *Replica) Leader(view uint64) uint32 { return uint32(view % uint64(r.cfg.N)) }
+
+// IsLeader reports whether this replica leads the current view.
+func (r *Replica) IsLeader() bool { return r.Leader(r.view) == r.id }
+
+// AttachPeer wires the outbound connection to a peer replica and starts
+// consuming inbound messages from it.
+func (r *Replica) AttachPeer(id uint32, conn transport.Conn) {
+	r.peers[id] = conn
+	conn.OnMessage(func(raw []byte) { r.handleEnvelope(raw) })
+}
+
+// AttachInbound consumes messages from a peer-initiated connection
+// (sender identity travels in the authenticated envelope).
+func (r *Replica) AttachInbound(conn transport.Conn) {
+	conn.OnMessage(func(raw []byte) { r.handleEnvelope(raw) })
+}
+
+// HandleClientConn consumes client requests from a client connection.
+func (r *Replica) HandleClientConn(conn transport.Conn) {
+	conn.OnMessage(func(raw []byte) {
+		msg, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(Request)
+		if !ok {
+			return
+		}
+		r.clientConns[req.Client] = conn
+		r.handleRequest(req)
+	})
+}
+
+// crypto charges modeled CPU time for cryptographic work.
+func (r *Replica) crypto(d sim.Time) { r.node.CPU.Delay(d) }
+
+// broadcast authenticates and sends a message to all other replicas.
+func (r *Replica) broadcast(m Message) {
+	if r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
+		return
+	}
+	payload := Encode(m)
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.AuthenticatorCost(p, r.cfg.N, len(payload)))
+	a := r.keyring.Authenticate(payload)
+	if r.faults.CorruptMACs {
+		corruptAuth(a)
+	}
+	if pp, isPP := m.(PrePrepare); isPP && r.faults.EquivocateLeader {
+		r.equivocate(pp, a)
+		return
+	}
+	env := EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a})
+	for _, id := range r.peerIDs() {
+		_ = r.peers[id].Send(env)
+	}
+}
+
+// peerIDs returns connected peers in ascending order so send order (and
+// therefore the simulation) is deterministic.
+func (r *Replica) peerIDs() []uint32 {
+	ids := make([]uint32, 0, len(r.peers))
+	for id := uint32(0); id < uint32(r.cfg.N); id++ {
+		if id != r.id && r.peers[id] != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// equivocate sends conflicting pre-prepares: correct to low-id backups,
+// digest-corrupted to the rest.
+func (r *Replica) equivocate(pp PrePrepare, a auth.Authenticator) {
+	bad := pp
+	bad.Digest[0] ^= 0xFF
+	goodEnv := EncodeEnvelope(Envelope{Sender: r.id, Payload: Encode(pp), Auth: a})
+	badPayload := Encode(bad)
+	badEnv := EncodeEnvelope(Envelope{Sender: r.id, Payload: badPayload, Auth: r.keyring.Authenticate(badPayload)})
+	for _, id := range r.peerIDs() {
+		if id%2 == 0 {
+			_ = r.peers[id].Send(goodEnv)
+		} else {
+			_ = r.peers[id].Send(badEnv)
+		}
+	}
+}
+
+// send authenticates and sends to one replica.
+func (r *Replica) send(to uint32, m Message) {
+	if r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
+		return
+	}
+	conn := r.peers[to]
+	if conn == nil {
+		return
+	}
+	payload := Encode(m)
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.Cost(p, len(payload)))
+	a := r.keyring.Authenticate(payload)
+	if r.faults.CorruptMACs {
+		corruptAuth(a)
+	}
+	_ = conn.Send(EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a}))
+}
+
+func corruptAuth(a auth.Authenticator) {
+	for _, mac := range a {
+		if len(mac) > 0 {
+			mac[0] ^= 0xFF
+		}
+	}
+}
+
+// handleEnvelope verifies and dispatches one replica-to-replica message.
+func (r *Replica) handleEnvelope(raw []byte) {
+	env, err := DecodeEnvelope(raw)
+	if err != nil {
+		return
+	}
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.Cost(p, len(env.Payload)))
+	if !r.keyring.VerifyFrom(int(env.Sender), env.Payload, env.Auth) {
+		return // forged or corrupted: drop (paper III-C: HMACs detect)
+	}
+	msg, err := Decode(env.Payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case Request: // forwarded by a backup to the leader
+		r.handleRequest(m)
+	case PrePrepare:
+		r.handlePrePrepare(env.Sender, m)
+	case Prepare:
+		r.handlePrepare(m)
+	case Commit:
+		r.handleCommit(m)
+	case Checkpoint:
+		r.handleCheckpoint(m)
+	case ViewChange:
+		r.handleViewChange(m)
+	case NewView:
+		r.handleNewView(env.Sender, m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Normal case
+// ---------------------------------------------------------------------------
+
+func (r *Replica) handleRequest(req Request) {
+	key := req.Key()
+	// Exactly-once: answer repeats from the cache.
+	if last, ok := r.replyCache[req.Client]; ok && last.Timestamp == req.Timestamp {
+		r.reply(req.Client, last)
+		return
+	}
+	if r.proposed[key] {
+		return
+	}
+	if _, known := r.requestStore[key]; !known {
+		r.requestStore[key] = req
+	}
+	// Liveness: watch this request until it executes.
+	r.armRequestTimer(key)
+	if !r.IsLeader() {
+		// Clients broadcast requests to all replicas (see Client), so
+		// the leader already has it; backups only watch the timer.
+		return
+	}
+	r.pending = append(r.pending, req)
+	r.proposed[key] = true
+	if len(r.pending) >= r.cfg.BatchSize {
+		r.proposeBatch()
+		return
+	}
+	if r.batchTimer == nil || !r.batchTimer.Pending() {
+		r.batchTimer = r.node.Loop().After(r.cfg.BatchDelay, r.proposeBatch)
+	}
+}
+
+func (r *Replica) armRequestTimer(key string) {
+	if r.reqTimers[key] != nil {
+		return
+	}
+	r.reqTimers[key] = r.node.Loop().After(r.cfg.ViewTimeout, func() {
+		delete(r.reqTimers, key)
+		r.startViewChange(r.view + 1)
+	})
+}
+
+func (r *Replica) cancelRequestTimer(key string) {
+	if t := r.reqTimers[key]; t != nil {
+		t.Cancel()
+		delete(r.reqTimers, key)
+	}
+}
+
+// proposeBatch assigns the next sequence number to the pending batch and
+// broadcasts the pre-prepare.
+func (r *Replica) proposeBatch() {
+	if len(r.pending) == 0 || !r.IsLeader() || r.viewChanging {
+		return
+	}
+	if r.seqNext >= r.stable+r.cfg.LogWindow {
+		return // watermark window full; retried after the next checkpoint
+	}
+	n := len(r.pending)
+	if n > r.cfg.BatchSize {
+		n = r.cfg.BatchSize
+	}
+	batch := r.pending[:n:n]
+	r.pending = r.pending[n:]
+	r.seqNext++
+	seq := r.seqNext
+
+	p := r.node.Network().Params().Crypto
+	d := BatchDigest(batch)
+	r.crypto(auth.DigestCost(p, len(Encode(PrePrepare{Batch: batch}))))
+
+	pp := PrePrepare{View: r.view, Seq: seq, Digest: d, Batch: batch}
+	s := r.slotFor(seq)
+	s.view = r.view
+	s.pp = &pp
+	r.broadcast(pp)
+	r.tryPrepare(seq)
+	if len(r.pending) > 0 {
+		r.node.Loop().Post(r.proposeBatch)
+	}
+}
+
+// ProposeHeartbeat makes a leader propose an empty batch, advancing the
+// instance's sequence without ordering any request, but never past round:
+// if a proposal at or beyond round is already in flight the call is a
+// no-op (otherwise executors waiting on in-flight commits would mint
+// ever-higher sequence numbers and the merge would never converge).
+// Reptor's executor uses this to fill holes in the merged global order
+// when an instance is idle.
+func (r *Replica) ProposeHeartbeat(round uint64) {
+	if !r.IsLeader() || r.viewChanging {
+		return
+	}
+	if r.seqNext >= round {
+		return
+	}
+	if r.seqNext >= r.stable+r.cfg.LogWindow {
+		return
+	}
+	r.seqNext++
+	seq := r.seqNext
+	pp := PrePrepare{View: r.view, Seq: seq, Digest: BatchDigest(nil)}
+	s := r.slotFor(seq)
+	s.view = r.view
+	s.pp = &pp
+	r.broadcast(pp)
+	r.tryPrepare(seq)
+}
+
+func (r *Replica) slotFor(seq uint64) *slot {
+	s := r.log[seq]
+	if s == nil {
+		s = newSlot()
+		r.log[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) handlePrePrepare(sender uint32, pp PrePrepare) {
+	if pp.View != r.view || r.viewChanging {
+		return
+	}
+	if sender != r.Leader(pp.View) {
+		return // only the view's leader may propose
+	}
+	if pp.Seq <= r.stable || pp.Seq > r.stable+r.cfg.LogWindow {
+		return // outside watermarks
+	}
+	// Integrity: the digest must match the carried batch (an
+	// equivocating leader fails here).
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.DigestCost(p, len(Encode(pp))))
+	if BatchDigest(pp.Batch) != pp.Digest {
+		r.startViewChange(r.view + 1)
+		return
+	}
+	s := r.slotFor(pp.Seq)
+	if s.pp != nil && s.pp.Digest != pp.Digest && s.view == pp.View {
+		// Conflicting proposal for the same (view, seq): Byzantine
+		// leader; demand a view change.
+		r.startViewChange(r.view + 1)
+		return
+	}
+	s.view = pp.View
+	s.pp = &pp
+	for _, req := range pp.Batch {
+		r.proposed[req.Key()] = true
+		r.requestStore[req.Key()] = req
+		r.armRequestTimer(req.Key()) // watch progress even if first seen here
+	}
+	if !s.sentPrep {
+		s.sentPrep = true
+		prep := Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id}
+		s.prepares[r.id] = pp.Digest
+		r.broadcast(prep)
+	}
+	r.tryPrepare(pp.Seq)
+	r.tryCommit(pp.Seq)
+}
+
+func (r *Replica) handlePrepare(m Prepare) {
+	if m.View != r.view || r.viewChanging || m.Replica == r.Leader(m.View) {
+		return
+	}
+	if m.Seq <= r.stable || m.Seq > r.stable+r.cfg.LogWindow {
+		return
+	}
+	s := r.slotFor(m.Seq)
+	s.prepares[m.Replica] = m.Digest
+	r.tryPrepare(m.Seq)
+	r.tryCommit(m.Seq)
+}
+
+// prepared implements the PBFT predicate: a matching pre-prepare plus 2F
+// prepares (from distinct non-leader replicas, possibly including our own).
+func (r *Replica) prepared(s *slot) bool {
+	if s.pp == nil {
+		return false
+	}
+	count := 0
+	for _, d := range s.prepares {
+		if d == s.pp.Digest {
+			count++
+		}
+	}
+	return count >= 2*r.cfg.F
+}
+
+func (r *Replica) tryPrepare(seq uint64) {
+	s := r.log[seq]
+	if s == nil || s.sentComm || !r.prepared(s) {
+		return
+	}
+	s.sentComm = true
+	c := Commit{View: s.pp.View, Seq: seq, Digest: s.pp.Digest, Replica: r.id}
+	s.commits[r.id] = s.pp.Digest
+	r.broadcast(c)
+	r.tryCommit(seq)
+}
+
+func (r *Replica) handleCommit(m Commit) {
+	if m.View != r.view || r.viewChanging {
+		return
+	}
+	if m.Seq <= r.stable || m.Seq > r.stable+r.cfg.LogWindow {
+		return
+	}
+	s := r.slotFor(m.Seq)
+	s.commits[m.Replica] = m.Digest
+	r.tryCommit(m.Seq)
+}
+
+// committed requires prepared plus a 2F+1 commit quorum.
+func (r *Replica) committedSlot(s *slot) bool {
+	if s.pp == nil || !r.prepared(s) {
+		return false
+	}
+	count := 0
+	for _, d := range s.commits {
+		if d == s.pp.Digest {
+			count++
+		}
+	}
+	return count >= r.cfg.Quorum()
+}
+
+func (r *Replica) tryCommit(seq uint64) {
+	s := r.log[seq]
+	if s == nil || !r.committedSlot(s) {
+		return
+	}
+	r.tryExecute()
+}
+
+// tryExecute applies committed batches strictly in sequence order.
+func (r *Replica) tryExecute() {
+	for {
+		next := r.executed + 1
+		s := r.log[next]
+		if s == nil || s.executed || !r.committedSlot(s) {
+			return
+		}
+		s.executed = true
+		r.executed = next
+		r.committedCount++
+		r.execBatches++
+		for _, req := range s.pp.Batch {
+			result := r.app.Execute(req.Op)
+			rep := Reply{View: r.view, Timestamp: req.Timestamp, Client: req.Client, Replica: r.id, Result: result}
+			r.replyCache[req.Client] = rep
+			r.reply(req.Client, rep)
+			r.cancelRequestTimer(req.Key())
+			delete(r.requestStore, req.Key())
+		}
+		if r.onExecute != nil {
+			r.onExecute(next, s.pp.Batch)
+		}
+		if r.executed%r.cfg.CheckpointEvery == 0 {
+			r.takeCheckpoint(r.executed)
+		}
+	}
+}
+
+func (r *Replica) reply(client uint32, rep Reply) {
+	if r.faults.Crashed {
+		return
+	}
+	conn := r.clientConns[client]
+	if conn == nil {
+		return
+	}
+	payload := Encode(rep)
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.Cost(p, len(payload)))
+	_ = conn.Send(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+func (r *Replica) takeCheckpoint(seq uint64) {
+	d := r.app.Snapshot()
+	r.snapshots[seq] = d
+	cp := Checkpoint{Seq: seq, Digest: d, Replica: r.id}
+	r.recordCheckpoint(cp)
+	r.broadcast(cp)
+}
+
+func (r *Replica) handleCheckpoint(m Checkpoint) {
+	r.recordCheckpoint(m)
+}
+
+func (r *Replica) recordCheckpoint(m Checkpoint) {
+	if m.Seq <= r.stable {
+		return
+	}
+	set := r.checkpoints[m.Seq]
+	if set == nil {
+		set = make(map[uint32]auth.Digest)
+		r.checkpoints[m.Seq] = set
+	}
+	set[m.Replica] = m.Digest
+	// Count matching digests.
+	counts := make(map[auth.Digest]int)
+	for _, d := range set {
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c >= r.cfg.Quorum() && r.snapshots[m.Seq] == d {
+			r.advanceStable(m.Seq)
+			return
+		}
+	}
+}
+
+// advanceStable garbage-collects the log below the new stable checkpoint.
+func (r *Replica) advanceStable(seq uint64) {
+	if seq <= r.stable {
+		return
+	}
+	r.stable = seq
+	for s := range r.log {
+		if s <= seq {
+			delete(r.log, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s <= seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	for s := range r.snapshots {
+		if s < seq {
+			delete(r.snapshots, s)
+		}
+	}
+	if r.IsLeader() && len(r.pending) > 0 {
+		r.node.Loop().Post(r.proposeBatch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// View change
+// ---------------------------------------------------------------------------
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view || (r.viewChanging && newView <= r.pendingView()) {
+		return
+	}
+	r.viewChanging = true
+	// Cancel batch work; collect prepared proofs above the stable point.
+	if r.batchTimer != nil {
+		r.batchTimer.Cancel()
+	}
+	var proofs []PreparedProof
+	for seq, s := range r.log {
+		if s.pp != nil && r.prepared(s) && !s.executed {
+			proofs = append(proofs, PreparedProof{View: s.pp.View, Seq: seq, Digest: s.pp.Digest, Batch: s.pp.Batch})
+		}
+	}
+	vc := ViewChange{NewView: newView, Stable: r.stable, Prepared: proofs, Replica: r.id}
+	r.recordViewChange(vc)
+	r.broadcast(vc)
+	// If the new leader's NEW-VIEW never arrives, escalate further.
+	r.node.Loop().After(r.cfg.ViewTimeout, func() {
+		if r.viewChanging && r.view < newView {
+			r.startViewChange(newView + 1)
+		}
+	})
+}
+
+func (r *Replica) pendingView() uint64 {
+	var max uint64
+	for v := range r.vcVotes {
+		if _, voted := r.vcVotes[v][r.id]; voted && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+func (r *Replica) handleViewChange(m ViewChange) {
+	if m.NewView <= r.view {
+		return
+	}
+	r.recordViewChange(m)
+	votes := r.vcVotes[m.NewView]
+	// Join an in-progress view change once F+1 replicas demand it (we
+	// cannot all be faulty).
+	if len(votes) >= r.cfg.F+1 {
+		r.startViewChange(m.NewView)
+	}
+	if r.Leader(m.NewView) == r.id && len(votes) >= r.cfg.Quorum() {
+		r.installNewView(m.NewView)
+	}
+}
+
+func (r *Replica) recordViewChange(m ViewChange) {
+	set := r.vcVotes[m.NewView]
+	if set == nil {
+		set = make(map[uint32]ViewChange)
+		r.vcVotes[m.NewView] = set
+	}
+	set[m.Replica] = m
+}
+
+// installNewView (new leader): re-propose every prepared slot reported by
+// the view-change quorum, filling gaps with empty batches.
+func (r *Replica) installNewView(v uint64) {
+	votes := r.vcVotes[v]
+	maxStable := r.stable
+	best := make(map[uint64]PreparedProof)
+	var maxSeq uint64
+	for _, vc := range votes {
+		if vc.Stable > maxStable {
+			maxStable = vc.Stable
+		}
+		for _, p := range vc.Prepared {
+			if cur, ok := best[p.Seq]; !ok || p.View > cur.View {
+				best[p.Seq] = p
+			}
+			if p.Seq > maxSeq {
+				maxSeq = p.Seq
+			}
+		}
+	}
+	var pps []PrePrepare
+	for seq := maxStable + 1; seq <= maxSeq; seq++ {
+		if p, ok := best[seq]; ok {
+			pps = append(pps, PrePrepare{View: v, Seq: seq, Digest: p.Digest, Batch: p.Batch})
+		} else {
+			pps = append(pps, PrePrepare{View: v, Seq: seq, Digest: BatchDigest(nil)})
+		}
+	}
+	nv := NewView{View: v, PrePrepares: pps}
+	r.broadcast(nv)
+	r.adoptNewView(v, nv)
+}
+
+func (r *Replica) handleNewView(sender uint32, nv NewView) {
+	if nv.View <= r.view || sender != r.Leader(nv.View) {
+		return
+	}
+	r.adoptNewView(nv.View, nv)
+}
+
+// adoptNewView installs the view and replays the re-proposed slots.
+func (r *Replica) adoptNewView(v uint64, nv NewView) {
+	r.view = v
+	r.viewChanging = false
+	for view := range r.vcVotes {
+		if view <= v {
+			delete(r.vcVotes, view)
+		}
+	}
+	// Reset per-slot voting state for re-proposed slots.
+	var maxSeq uint64
+	for _, pp := range nv.PrePrepares {
+		pp := pp
+		if pp.Seq <= r.executed {
+			continue // already executed here; state transfer not needed
+		}
+		s := newSlot()
+		s.view = v
+		s.pp = &pp
+		r.log[pp.Seq] = s
+		if pp.Seq > maxSeq {
+			maxSeq = pp.Seq
+		}
+		if r.Leader(v) != r.id {
+			s.sentPrep = true
+			s.prepares[r.id] = pp.Digest
+			r.broadcast(Prepare{View: v, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id})
+		}
+	}
+	if maxSeq > r.seqNext {
+		r.seqNext = maxSeq
+	}
+	if r.seqNext < r.executed {
+		r.seqNext = r.executed
+	}
+	// Rebuild proposal bookkeeping: only the re-proposed slots count as
+	// in flight; everything else known-but-unexecuted goes back to the
+	// new leader's queue.
+	r.pending = nil
+	r.proposed = make(map[string]bool)
+	for _, pp := range nv.PrePrepares {
+		for _, req := range pp.Batch {
+			r.proposed[req.Key()] = true
+		}
+	}
+	for _, key := range r.storedKeys() {
+		r.armRequestTimer(key)
+		if r.IsLeader() && !r.proposed[key] {
+			r.pending = append(r.pending, r.requestStore[key])
+			r.proposed[key] = true
+		}
+	}
+	if r.onViewChange != nil {
+		r.onViewChange(v)
+	}
+	if r.IsLeader() && len(r.pending) > 0 {
+		r.node.Loop().Post(r.proposeBatch)
+	}
+	for _, pp := range nv.PrePrepares {
+		r.tryPrepare(pp.Seq)
+		r.tryCommit(pp.Seq)
+	}
+}
+
+// storedKeys returns requestStore keys in sorted order for deterministic
+// re-proposal.
+func (r *Replica) storedKeys() []string {
+	keys := make([]string, 0, len(r.requestStore))
+	for k := range r.requestStore {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,77 @@
+package reptor
+
+import (
+	"fmt"
+
+	"rubin/internal/pbft"
+	"rubin/internal/transport"
+)
+
+// Client routes operations to the responsible COP instance and collects
+// BFT-quorum replies, one sub-client per instance.
+type Client struct {
+	group *Group
+	id    uint32
+	sub   []*pbft.Client
+}
+
+// AddClient creates a client on its own node connected to every replica's
+// per-instance client port.
+func (g *Group) AddClient() (*Client, error) {
+	id := uint32(100 + len(g.clients))
+	node := g.Network.AddNode(fmt.Sprintf("client%d", id))
+	n := g.Config.PBFT.N
+	for i := 0; i < n; i++ {
+		g.Network.Connect(node, g.Network.Node(fmt.Sprintf("r%d", i)))
+	}
+	st, err := transport.NewStack(g.Kind, node, transport.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{group: g, id: id}
+	var dialErr error
+	dials, want := 0, 0
+	for k := 0; k < g.Config.Instances; k++ {
+		sub := pbft.NewClient(id, g.Config.PBFT.F)
+		cl.sub = append(cl.sub, sub)
+		for i := 0; i < n; i++ {
+			want++
+			k, i := k, i
+			g.Loop.Post(func() {
+				st.Dial(g.Network.Node(fmt.Sprintf("r%d", i)), clientPortFor(k), func(conn transport.Conn, err error) {
+					if err != nil {
+						dialErr = err
+						return
+					}
+					cl.sub[k].AttachReplica(uint32(i), conn)
+					dials++
+				})
+			})
+		}
+	}
+	g.Loop.Run()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	if dials != want {
+		return nil, fmt.Errorf("reptor: client wired %d of %d connections", dials, want)
+	}
+	g.clients = append(g.clients, cl)
+	return cl, nil
+}
+
+// Invoke routes one operation to its instance; done fires on a BFT quorum
+// of matching replies.
+func (c *Client) Invoke(op []byte, done func([]byte)) {
+	k := c.group.Config.Route(op)
+	c.sub[k].Invoke(op, done)
+}
+
+// Completed returns the number of finished invocations across instances.
+func (c *Client) Completed() uint64 {
+	var total uint64
+	for _, s := range c.sub {
+		total += s.Completed()
+	}
+	return total
+}

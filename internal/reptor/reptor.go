@@ -1,0 +1,281 @@
+// Package reptor implements Consensus-Oriented Parallelization (COP,
+// Behl et al., Middleware '15) — the parallelization scheme of the Reptor
+// framework the paper integrates RUBIN into. Instead of splitting the BFT
+// protocol into functional stages, COP runs K independent PBFT instances
+// side by side (each led by a different replica) and deterministically
+// merges their committed batches into one global total order.
+//
+// Requests are routed to instances by operation hash, so each instance
+// orders a disjoint partition; the executor interleaves instance rounds
+// round-robin (global slot = (seq-1)*K + instance) and fills holes left by
+// idle instances with leader heartbeats (empty batches).
+package reptor
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"rubin/internal/auth"
+	"rubin/internal/fabric"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// Config tunes a COP group.
+type Config struct {
+	// PBFT is the per-instance protocol configuration.
+	PBFT pbft.Config
+	// Instances is K, the number of parallel consensus pipelines.
+	Instances int
+	// HeartbeatDelay is how long the executor waits on a hole before
+	// asking the lagging instance's leader for an empty batch.
+	HeartbeatDelay sim.Time
+}
+
+// DefaultConfig returns a 4-instance COP group over the default PBFT
+// parameters.
+func DefaultConfig() Config {
+	return Config{PBFT: pbft.DefaultConfig(), Instances: 4, HeartbeatDelay: 500 * sim.Microsecond}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Instances < 1 {
+		return fmt.Errorf("reptor: need at least one instance")
+	}
+	return c.PBFT.Validate()
+}
+
+// Route assigns an operation to an instance by FNV-1a hash, partitioning
+// the request space.
+func (c Config) Route(op []byte) int {
+	h := fnv.New32a()
+	_, _ = h.Write(op)
+	return int(h.Sum32()) % c.Instances
+}
+
+// Group is a running COP deployment: N nodes, K PBFT instances sharing
+// each node's transport stack, one merged executor per node.
+type Group struct {
+	Loop      *sim.Loop
+	Network   *fabric.Network
+	Config    Config
+	Kind      transport.Kind
+	Stacks    []transport.Stack
+	Instances [][]*pbft.Replica // [instance][replica]
+	Executors []*Executor       // one per node
+	Apps      []pbft.Application
+
+	clients []*Client
+}
+
+// peerPortFor returns the replica-to-replica port of an instance.
+func peerPortFor(instance int) int { return pbft.PeerPort + 10*instance }
+
+// clientPortFor returns the client port of an instance.
+func clientPortFor(instance int) int { return pbft.ClientPort + 10*instance }
+
+// NewGroup assembles the deployment on a fresh simulation loop.
+// appFactory provides the node-local state machine shared by all
+// instances on that node (instances order disjoint partitions, so
+// instance-local execution order is safe).
+func NewGroup(kind transport.Kind, cfg Config, params model.Params, seed int64, appFactory func(node int) pbft.Application) (*Group, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	loop := sim.NewLoop(seed)
+	nw := fabric.New(loop, params)
+	g := &Group{Loop: loop, Network: nw, Config: cfg, Kind: kind}
+
+	n := cfg.PBFT.N
+	opts := transport.DefaultOptions()
+	for i := 0; i < n; i++ {
+		node := nw.AddNode(fmt.Sprintf("r%d", i))
+		st, err := transport.NewStack(kind, node, opts)
+		if err != nil {
+			return nil, err
+		}
+		g.Stacks = append(g.Stacks, st)
+		g.Apps = append(g.Apps, appFactory(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			nw.Connect(nw.Node(fmt.Sprintf("r%d", i)), nw.Node(fmt.Sprintf("r%d", j)))
+		}
+	}
+	// Executors merge the instances' committed batches per node.
+	for i := 0; i < n; i++ {
+		g.Executors = append(g.Executors, newExecutor(g, i))
+	}
+	// Build the K instances; instance k starts in view k so leadership
+	// rotates across replicas (the essence of COP: every replica leads
+	// one pipeline).
+	for k := 0; k < cfg.Instances; k++ {
+		icfg := cfg.PBFT
+		icfg.InitialView = uint64(k)
+		rings := auth.GenerateKeyrings(n, uint64(seed)+uint64(k)*7919+1)
+		var reps []*pbft.Replica
+		for i := 0; i < n; i++ {
+			rep, err := pbft.NewReplica(uint32(i), icfg, nw.Node(fmt.Sprintf("r%d", i)), rings[i], g.Apps[i])
+			if err != nil {
+				return nil, err
+			}
+			k, i := k, i
+			rep.OnExecute(func(seq uint64, batch []pbft.Request) {
+				g.Executors[i].deliver(k, seq, batch)
+			})
+			reps = append(reps, rep)
+		}
+		g.Instances = append(g.Instances, reps)
+	}
+	return g, nil
+}
+
+// Start wires every instance's connection mesh.
+func (g *Group) Start() error {
+	n := g.Config.PBFT.N
+	for k, reps := range g.Instances {
+		for i := 0; i < n; i++ {
+			rep := reps[i]
+			if err := g.Stacks[i].Listen(peerPortFor(k), func(conn transport.Conn) {
+				rep.AttachInbound(conn)
+			}); err != nil {
+				return err
+			}
+			if err := g.Stacks[i].Listen(clientPortFor(k), func(conn transport.Conn) {
+				rep.HandleClientConn(conn)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	var setupErr error
+	dials := 0
+	want := 0
+	for k := range g.Instances {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				want++
+				k, i, j := k, i, j
+				g.Loop.Post(func() {
+					g.Stacks[i].Dial(g.Network.Node(fmt.Sprintf("r%d", j)), peerPortFor(k), func(conn transport.Conn, err error) {
+						if err != nil {
+							setupErr = fmt.Errorf("instance %d dial r%d->r%d: %w", k, i, j, err)
+							return
+						}
+						g.Instances[k][i].AttachPeer(uint32(j), conn)
+						dials++
+					})
+				})
+			}
+		}
+	}
+	g.Loop.Run()
+	if setupErr != nil {
+		return setupErr
+	}
+	if dials != want {
+		return fmt.Errorf("reptor: %d of %d connections established", dials, want)
+	}
+	return nil
+}
+
+// GlobalOrder returns the merged global log of a node's executor as
+// request keys, for cross-replica comparison in tests.
+func (g *Group) GlobalOrder(node int) []string { return g.Executors[node].order }
+
+// Executor merges instance-local commits into the global total order on
+// one node.
+type Executor struct {
+	group *Group
+	node  int
+
+	// ready[k] holds batches committed by instance k, keyed by
+	// instance-local sequence.
+	ready []map[uint64][]pbft.Request
+	// round is the next instance-local sequence to merge.
+	round uint64
+	// cursor is the next instance within the current round.
+	cursor int
+
+	order    []string
+	slots    uint64
+	hbArmed  bool
+	delivers uint64
+}
+
+func newExecutor(g *Group, node int) *Executor {
+	e := &Executor{group: g, node: node, round: 1}
+	for k := 0; k < g.Config.Instances; k++ {
+		e.ready = append(e.ready, make(map[uint64][]pbft.Request))
+	}
+	return e
+}
+
+// MergedSlots returns how many global slots have been merged.
+func (e *Executor) MergedSlots() uint64 { return e.slots }
+
+func (e *Executor) deliver(instance int, seq uint64, batch []pbft.Request) {
+	e.delivers++
+	e.ready[instance][seq] = batch
+	e.drain()
+}
+
+// drain merges committed batches in strict (round, instance) order.
+func (e *Executor) drain() {
+	for {
+		batch, ok := e.ready[e.cursor][e.round]
+		if !ok {
+			e.armHeartbeat()
+			return
+		}
+		delete(e.ready[e.cursor], e.round)
+		for _, req := range batch {
+			e.order = append(e.order, req.Key())
+		}
+		e.slots++
+		e.cursor++
+		if e.cursor == e.group.Config.Instances {
+			e.cursor = 0
+			e.round++
+		}
+	}
+}
+
+// armHeartbeat schedules a one-shot nudge: if the hole at (round, cursor)
+// persists and this node leads the lagging instance, propose an empty
+// batch to fill it.
+func (e *Executor) armHeartbeat() {
+	if e.hbArmed {
+		return
+	}
+	// Only arm when some other instance has already moved past this
+	// round — otherwise the group is simply idle.
+	anyAhead := false
+	for k := range e.ready {
+		if len(e.ready[k]) > 0 {
+			anyAhead = true
+			break
+		}
+	}
+	if !anyAhead {
+		return
+	}
+	e.hbArmed = true
+	instance, round := e.cursor, e.round
+	e.group.Loop.After(e.group.Config.HeartbeatDelay, func() {
+		e.hbArmed = false
+		if e.round == round && e.cursor == instance {
+			rep := e.group.Instances[instance][e.node]
+			rep.ProposeHeartbeat(round)
+		}
+		// Re-check: fills may have happened, or the hole persists and
+		// needs re-arming.
+		e.drain()
+	})
+}

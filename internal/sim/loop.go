@@ -1,0 +1,224 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulated components in this repository (network fabric, TCP stack,
+// RDMA verbs, selectors, BFT replicas) run as event handlers on a single
+// Loop with a virtual nanosecond clock. Determinism is guaranteed by a
+// strict (time, sequence) ordering of events and a seeded random source,
+// so every experiment regenerates identical numbers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time using the most natural unit, e.g. "12.5µs".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback. Events with equal deadlines fire in the
+// order they were scheduled (seq tie-break), which keeps runs reproducible.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event; Cancel prevents it from firing.
+type Timer struct {
+	ev *event
+}
+
+// Cancel stops the timer. It reports whether the callback had not yet fired
+// and was successfully prevented from firing. Cancel on a nil Timer or an
+// already-fired timer is a no-op returning false.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+}
+
+// Loop is a single-threaded discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use; all simulated activity must happen in
+// event callbacks on the loop.
+type Loop struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	processed uint64
+	maxEvents uint64 // safety valve against runaway simulations; 0 = unlimited
+}
+
+// NewLoop returns a Loop whose random source is seeded with seed.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Rand returns the loop's deterministic random source.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Processed returns the number of events executed so far.
+func (l *Loop) Processed() uint64 { return l.processed }
+
+// SetEventLimit caps the total number of events the loop will execute;
+// Run panics once the cap is exceeded. Zero disables the cap.
+func (l *Loop) SetEventLimit(n uint64) { l.maxEvents = n }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t less
+// than Now) runs the event at the current time, after already-queued events
+// for that instant.
+func (l *Loop) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (l *Loop) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Post schedules fn to run at the current virtual time, after all events
+// already queued for this instant.
+func (l *Loop) Post(fn func()) *Timer { return l.At(l.now, fn) }
+
+// Step executes the single next event, advancing the clock to its deadline.
+// It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		l.now = ev.at
+		l.processed++
+		if l.maxEvents != 0 && l.processed > l.maxEvents {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", l.maxEvents, l.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines at or before t, then advances the
+// clock to exactly t (even if the queue drained earlier).
+func (l *Loop) RunUntil(t Time) {
+	for len(l.events) > 0 {
+		next := l.events[0]
+		if next.canceled {
+			heap.Pop(&l.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		l.Step()
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// Pending returns the number of live (non-canceled) events in the queue.
+func (l *Loop) Pending() int {
+	n := 0
+	for _, ev := range l.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSingleServerSerializes(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 1)
+	var done []Time
+	l.At(0, func() {
+		r.Acquire(100, func() { done = append(done, l.Now()) })
+		r.Acquire(50, func() { done = append(done, l.Now()) })
+		r.Acquire(25, func() { done = append(done, l.Now()) })
+	})
+	l.Run()
+	want := []Time{100, 150, 175}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v (all: %v)", i, done[i], want[i], done)
+		}
+	}
+}
+
+func TestResourceMultiServerParallel(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 2)
+	var done []Time
+	l.At(0, func() {
+		r.Acquire(100, func() { done = append(done, l.Now()) }) // server 0: 0..100
+		r.Acquire(100, func() { done = append(done, l.Now()) }) // server 1: 0..100
+		r.Acquire(100, func() { done = append(done, l.Now()) }) // queued: 100..200
+	})
+	l.Run()
+	want := []Time{100, 100, 200}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+func TestResourceIdleGapResets(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 1)
+	var second Time
+	l.At(0, func() { r.Acquire(10, nil) })
+	l.At(1000, func() { r.Acquire(10, func() { second = l.Now() }) })
+	l.Run()
+	if second != 1010 {
+		t.Fatalf("job after idle gap finished at %v, want 1010", second)
+	}
+}
+
+func TestResourceQueueDelay(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 1)
+	l.At(0, func() {
+		if d := r.QueueDelay(); d != 0 {
+			t.Errorf("idle QueueDelay = %v, want 0", d)
+		}
+		r.Acquire(100, nil)
+		if d := r.QueueDelay(); d != 100 {
+			t.Errorf("QueueDelay = %v, want 100", d)
+		}
+	})
+	l.Run()
+}
+
+func TestResourceStats(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 1)
+	l.At(0, func() {
+		r.Acquire(60, func() {})
+		r.Acquire(40, func() {})
+	})
+	l.Run()
+	if r.Jobs() != 2 {
+		t.Errorf("Jobs = %d, want 2", r.Jobs())
+	}
+	if r.BusyTotal() != 100 {
+		t.Errorf("BusyTotal = %v, want 100", r.BusyTotal())
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Errorf("Utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceNegativeServiceClamped(t *testing.T) {
+	l := NewLoop(1)
+	r := NewResource(l, "cpu", 1)
+	var at Time = -1
+	l.At(5, func() { r.Acquire(-10, func() { at = l.Now() }) })
+	l.Run()
+	if at != 5 {
+		t.Fatalf("negative-service job completed at %v, want 5", at)
+	}
+}
+
+func TestNewResourcePanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(NewLoop(1), "bad", 0)
+}
+
+// Property: on a single-server resource, completions preserve submission
+// order and never overlap (finish[i] + service[i+1] <= finish[i+1]).
+func TestPropertyResourceFIFO(t *testing.T) {
+	prop := func(services []uint8) bool {
+		l := NewLoop(1)
+		r := NewResource(l, "cpu", 1)
+		var finishes []Time
+		l.At(0, func() {
+			for _, s := range services {
+				r.Acquire(Time(s), func() { finishes = append(finishes, l.Now()) })
+			}
+		})
+		l.Run()
+		if len(finishes) != len(services) {
+			return false
+		}
+		var expect Time
+		for i, s := range services {
+			expect += Time(s)
+			if finishes[i] != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy time equals the sum of service times, regardless of
+// server count.
+func TestPropertyResourceBusyAccounting(t *testing.T) {
+	prop := func(services []uint8, servers uint8) bool {
+		k := int(servers%4) + 1
+		l := NewLoop(1)
+		r := NewResource(l, "cpu", k)
+		var sum Time
+		l.At(0, func() {
+			for _, s := range services {
+				sum += Time(s)
+				r.Acquire(Time(s), nil)
+			}
+		})
+		l.Run()
+		return r.BusyTotal() == sum
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"fmt"
+
+	"rubin/internal/fabric"
+	"rubin/internal/rdma"
+	"rubin/internal/rubin"
+)
+
+// rdmaStack is the RUBIN backend: one RDMA device and one RUBIN selector
+// per node, all connections multiplexed on the selector's single thread —
+// the drop-in replacement for the NIO stack that the paper integrates into
+// Reptor.
+type rdmaStack struct {
+	node *fabric.Node
+	opts Options
+	dev  *rdma.Device
+	sel  *rubin.Selector
+}
+
+func newRDMAStack(node *fabric.Node, opts Options) *rdmaStack {
+	dev := rdma.OpenDevice(node)
+	s := &rdmaStack{node: node, opts: opts, dev: dev, sel: rubin.NewSelector(dev)}
+	s.sel.Select(s.dispatch)
+	return s
+}
+
+func (s *rdmaStack) Node() *fabric.Node { return s.node }
+func (s *rdmaStack) Kind() Kind         { return KindRDMA }
+
+// chanConfig sizes RUBIN channels from the stack options.
+func (s *rdmaStack) chanConfig() rubin.Config {
+	cfg := rubin.DefaultConfig(s.node.Network().Params())
+	cfg.SendWRs = s.opts.WRs
+	cfg.RecvWRs = s.opts.WRs
+	cfg.BufferSize = s.opts.MaxMessage
+	cfg.PostBatch = s.opts.Batch
+	return cfg
+}
+
+func (s *rdmaStack) Listen(port int, accept func(Conn)) error {
+	srv, err := rubin.Listen(s.dev, port, s.chanConfig())
+	if err != nil {
+		return err
+	}
+	s.sel.Register(srv, rubin.OpConnect, accept)
+	return nil
+}
+
+func (s *rdmaStack) Dial(remote *fabric.Node, port int, done func(Conn, error)) {
+	_, err := rubin.Connect(s.dev, remote, port, s.chanConfig(), func(ch *rubin.Channel, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(s.wrap(ch), nil)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+func (s *rdmaStack) wrap(ch *rubin.Channel) *rdmaConn {
+	rc := &rdmaConn{stack: s, ch: ch}
+	rc.key = s.sel.Register(ch, rubin.OpReceive, rc)
+	return rc
+}
+
+// dispatch is the stack's single RUBIN selector loop.
+func (s *rdmaStack) dispatch(keys []*rubin.SelectionKey) {
+	for _, k := range keys {
+		switch ch := k.Channel().(type) {
+		case *rubin.ServerChannel:
+			if k.Ready()&rubin.OpConnect != 0 {
+				accept, _ := k.Attachment().(func(Conn))
+				for {
+					c := ch.Accept()
+					if c == nil {
+						break
+					}
+					rc := s.wrap(c)
+					if accept != nil {
+						accept(rc)
+					}
+				}
+			}
+		case *rubin.Channel:
+			rc, _ := k.Attachment().(*rdmaConn)
+			if rc == nil {
+				k.ResetReady(k.Ready())
+				continue
+			}
+			if k.Ready()&rubin.OpReceive != 0 {
+				rc.drain()
+			}
+			if k.Ready()&rubin.OpSend != 0 {
+				k.ResetReady(rubin.OpSend)
+				k.SetInterest(rubin.OpReceive)
+				rc.retry()
+			}
+		}
+	}
+}
+
+// rdmaConn maps transport messages 1:1 onto RUBIN channel messages (the
+// channel is message-oriented already, so no framing is needed) and spills
+// into an overflow queue under backpressure.
+type rdmaConn struct {
+	stack   *rdmaStack
+	ch      *rubin.Channel
+	key     *rubin.SelectionKey
+	onMsg   func([]byte)
+	onClose func()
+	closed  bool
+
+	overflow [][]byte
+	inbox    [][]byte
+}
+
+var _ Conn = (*rdmaConn)(nil)
+
+func (c *rdmaConn) Kind() Kind { return KindRDMA }
+
+func (c *rdmaConn) Peer() *fabric.Node { return c.ch.Peer() }
+
+func (c *rdmaConn) OnMessage(fn func([]byte)) {
+	c.onMsg = fn
+	for len(c.inbox) > 0 && c.onMsg != nil {
+		m := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		c.onMsg(m)
+	}
+}
+
+func (c *rdmaConn) OnClose(fn func()) { c.onClose = fn }
+
+func (c *rdmaConn) Send(msg []byte) error {
+	if c.closed || c.ch.Closed() {
+		return ErrClosed
+	}
+	if len(msg) > c.stack.opts.MaxMessage {
+		return fmt.Errorf("%w: %d", ErrTooBig, len(msg))
+	}
+	if len(c.overflow) > 0 {
+		c.overflow = append(c.overflow, cloneBytes(msg))
+		return nil
+	}
+	err := c.ch.Send(msg)
+	if err == rubin.ErrWouldBlock {
+		c.overflow = append(c.overflow, cloneBytes(msg))
+		c.key.SetInterest(rubin.OpReceive | rubin.OpSend)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// retry drains the overflow queue once send capacity returns.
+func (c *rdmaConn) retry() {
+	for len(c.overflow) > 0 {
+		err := c.ch.Send(c.overflow[0])
+		if err == rubin.ErrWouldBlock {
+			c.key.SetInterest(rubin.OpReceive | rubin.OpSend)
+			return
+		}
+		if err != nil {
+			c.teardown()
+			return
+		}
+		c.overflow = c.overflow[1:]
+	}
+}
+
+func (c *rdmaConn) drain() {
+	params := c.stack.node.Network().Params()
+	for {
+		msg, ok := c.ch.Receive()
+		if !ok {
+			break
+		}
+		if c.ch.Closed() {
+			c.teardown()
+			return
+		}
+		// Per-message handler dispatch on the selector thread (cheaper
+		// than TCP's: the channel is already message-oriented).
+		c.stack.sel.Thread().Delay(params.Selector.MsgHandle)
+		if c.onMsg != nil {
+			c.onMsg(msg)
+		} else {
+			c.inbox = append(c.inbox, msg)
+		}
+	}
+	if c.ch.Closed() {
+		c.teardown()
+	}
+}
+
+func (c *rdmaConn) Close() {
+	if c.closed {
+		return
+	}
+	c.ch.Close()
+	c.teardown()
+}
+
+func (c *rdmaConn) teardown() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.key != nil {
+		c.key.Cancel()
+	}
+	if c.onClose != nil {
+		c.onClose()
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
