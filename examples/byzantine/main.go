@@ -1,7 +1,10 @@
-// Example byzantine: fault injection against the replicated store. The
-// leader of view 0 crashes mid-workload; the remaining replicas detect the
-// silence via request timers, run a view change, and the new leader
-// finishes the workload — no client request is lost and no state diverges.
+// Example byzantine: scripted fault injection against the replicated
+// store using the chaos scenario API. The leader of view 0 crashes
+// mid-workload; the remaining replicas detect the silence via request
+// timers, run a view change, and the new leader finishes the workload.
+// Later the crashed replica restarts with empty state and rejoins the
+// group through PBFT state transfer — no client request is lost, no state
+// diverges, and the whole timeline is deterministic for a given seed.
 //
 // Run with: go run ./examples/byzantine
 package main
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"rubin/internal/chaos"
 	"rubin/internal/kvstore"
 	"rubin/internal/model"
 	"rubin/internal/pbft"
@@ -18,7 +22,10 @@ import (
 )
 
 func main() {
-	cluster, err := pbft.NewCluster(transport.KindRDMA, pbft.DefaultConfig(), model.Default(), 11,
+	cfg := pbft.DefaultConfig()
+	cfg.BatchSize = 1       // one sequence per request: visible checkpoints
+	cfg.CheckpointEvery = 4 // checkpoint often so recovery has state to fetch
+	cluster, err := pbft.NewCluster(transport.KindRDMA, cfg, model.Default(), 11,
 		func(i int) pbft.Application { return kvstore.New() })
 	if err != nil {
 		log.Fatalf("cluster: %v", err)
@@ -32,47 +39,74 @@ func main() {
 	}
 	loop := cluster.Loop
 
-	for i, rep := range cluster.Replicas {
-		i := i
+	hookViews := func(i int, rep *pbft.Replica) {
 		rep.OnViewChange(func(v uint64) {
 			fmt.Printf("t=%v replica %d installed view %d (new leader: replica %d)\n",
-				loop.Now(), i, v, v%4)
+				loop.Now(), i, v, rep.Leader(v))
 		})
 	}
+	for i, rep := range cluster.Replicas {
+		hookViews(i, rep)
+	}
+	cluster.OnRestart = hookViews
 
-	fmt.Println("phase 1: healthy cluster, leader = replica 0")
+	// The fault script: the view-0 leader crashes at +20ms and reboots
+	// with empty state at +150ms.
+	scenario := chaos.NewScenario("primary-crash-and-recovery").
+		Crash(20*sim.Millisecond, 0).
+		Restart(150*sim.Millisecond, 0)
+	sched := chaos.Apply(cluster, scenario)
+	base := loop.Now()
+
+	// The workload: three writes per phase — before the crash, while the
+	// leader is down (these must survive the view change), and after the
+	// restart (these drive the checkpoint the newcomer fetches).
 	done := 0
-	loop.Post(func() {
-		for k := 0; k < 3; k++ {
-			key := fmt.Sprintf("pre-%d", k)
-			client.Invoke(kvstore.EncodeOp(kvstore.OpPut, key, "ok"), func([]byte) { done++ })
-		}
-	})
-	loop.Run()
-	fmt.Printf("  %d requests committed in view 0\n\n", done)
+	put := func(key string) {
+		t0 := loop.Now()
+		client.Invoke(kvstore.EncodeOp(kvstore.OpPut, key, "ok"), func([]byte) {
+			done++
+			fmt.Printf("t=%v request %s committed (latency %v)\n", loop.Now(), key, loop.Now()-t0)
+		})
+	}
+	phases := []struct {
+		at     sim.Time
+		prefix string
+		banner string
+	}{
+		{0, "pre", "phase 1: healthy cluster, leader = replica 0"},
+		{30 * sim.Millisecond, "post", "phase 2: leader crashed; requests must survive the view change"},
+		{200 * sim.Millisecond, "rejoin", "phase 3: replica 0 restarted; new writes advance the checkpoint it fetches"},
+	}
+	for _, ph := range phases {
+		ph := ph
+		loop.At(base+ph.at, func() {
+			fmt.Printf("\n%s\n", ph.banner)
+			for k := 0; k < 3; k++ {
+				put(fmt.Sprintf("%s-%d", ph.prefix, k))
+			}
+		})
+	}
+	loop.RunUntil(base + 600*sim.Millisecond)
 
-	fmt.Println("phase 2: leader (replica 0) crashes; submitting more requests")
-	cluster.Replicas[0].SetFaults(pbft.Faults{Crashed: true})
-	loop.Post(func() {
-		for k := 0; k < 3; k++ {
-			key := fmt.Sprintf("post-%d", k)
-			t0 := loop.Now()
-			client.Invoke(kvstore.EncodeOp(kvstore.OpPut, key, "survived"), func([]byte) {
-				done++
-				fmt.Printf("t=%v request %s committed after view change (latency %v)\n", loop.Now(), key, loop.Now()-t0)
-			})
-		}
-	})
-	loop.RunUntil(loop.Now() + 500*sim.Millisecond)
-
-	fmt.Printf("\ntotal committed: %d/6\n", done)
-	fmt.Println("state digests of live replicas (must match):")
-	for i := 1; i < 4; i++ {
+	if err := sched.Err(); err != nil {
+		log.Fatalf("scenario: %v", err)
+	}
+	fmt.Printf("\nfault timeline:\n%s", sched.TraceString())
+	fmt.Printf("total committed: %d/9\n", done)
+	fmt.Printf("replica 0 rejoined via %d state transfer(s)\n", cluster.Replicas[0].StateTransfers())
+	fmt.Println("state digests of all replicas (must match):")
+	d0 := cluster.Apps[0].Snapshot()
+	diverged := false
+	for i, rep := range cluster.Replicas {
 		fmt.Printf("  replica %d: %s  view=%d executed=%d\n",
-			i, cluster.Apps[i].Snapshot().Short(), cluster.Replicas[i].View(), cluster.Replicas[i].Executed())
+			i, cluster.Apps[i].Snapshot().Short(), rep.View(), rep.Executed())
+		if cluster.Apps[i].Snapshot() != d0 {
+			diverged = true
+		}
 	}
-	if done != 6 {
-		log.Fatal("byzantine example failed: not all requests committed")
+	if done != 9 || diverged || cluster.Replicas[0].StateTransfers() == 0 {
+		log.Fatal("byzantine example failed: lost requests, divergent state, or no recovery")
 	}
-	fmt.Println("\nthe cluster tolerated the fault: agreement continued under the new leader")
+	fmt.Println("\nthe cluster tolerated the crash and recovered the replica: agreement never stopped")
 }

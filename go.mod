@@ -1,0 +1,3 @@
+module rubin
+
+go 1.24

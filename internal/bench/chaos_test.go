@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"rubin/internal/model"
+	"rubin/internal/transport"
+)
+
+// quickChaos shrinks the client window so the test run is cheap; the
+// timeline and protocol behaviour are unchanged.
+func quickChaos(kind transport.Kind) ChaosConfig {
+	cfg := DefaultChaosConfig(kind)
+	cfg.Window = 4
+	return cfg
+}
+
+// TestChaosLivenessAcrossTimeline asserts the headline result of
+// experiment E7 on both backends: the cluster keeps committing requests
+// through every phase of the fault timeline — including the partition of
+// the current leader, which only stays live because the previously
+// crashed replica recovered via state transfer and completes the
+// majority's quorum.
+func TestChaosLivenessAcrossTimeline(t *testing.T) {
+	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			res, err := RunChaos(quickChaos(kind), model.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range res.Phases {
+				if p.Committed == 0 {
+					t.Errorf("phase %q committed nothing:\n%s", p.Name, res.Render())
+				}
+			}
+			if res.StateTransfers == 0 {
+				t.Errorf("restarted replica completed no state transfer")
+			}
+			// The healthy phase must outperform the view-change phase
+			// in mean latency (faults are not free).
+			if res.Phases[0].MeanLat >= res.Phases[1].MeanLat {
+				t.Errorf("healthy mean latency %v >= crash-phase %v",
+					res.Phases[0].MeanLat, res.Phases[1].MeanLat)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic asserts E7 reproduces byte-identical per-phase
+// numbers and fault traces for a fixed seed.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := RunChaos(quickChaos(transport.KindRDMA), model.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%s\n%s", res.Render(), res.Trace)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("E7 not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -177,6 +177,39 @@ func (n *Node) Register(proto Protocol, h Handler) {
 	n.handlers[proto] = h
 }
 
+// LinkFaults is the injected fault state of one link (both directions).
+// The zero value is a healthy link. All randomness (loss, jitter) is drawn
+// from the simulation loop's seeded source, so fault behaviour is
+// deterministic per seed.
+type LinkFaults struct {
+	// LossRate is the probability in [0,1] that a frame is silently
+	// discarded before entering the wire. Note that the simulated stream
+	// transports assume a reliable fabric (no retransmission is modeled),
+	// so sustained loss on an established connection degrades it
+	// permanently — use for raw-fabric experiments and datagram traffic.
+	LossRate float64
+	// ExtraLatency is added to every frame's propagation delay.
+	ExtraLatency sim.Time
+	// Jitter adds a uniformly distributed random delay in [0, Jitter) per
+	// frame. Delivery remains FIFO per direction: a frame is never
+	// delivered before one sent earlier on the same direction.
+	Jitter sim.Time
+	// Down severs the link: frames are held instead of transmitted and
+	// are released in order when the link comes back up. This models a
+	// network partition as an unbounded delay (the standard asynchronous
+	// model), which keeps the loss-free stream transports above the
+	// fabric intact across a heal.
+	Down bool
+}
+
+// heldFrame is a frame queued while its link is down.
+type heldFrame struct {
+	from, to  *Node
+	proto     Protocol
+	payload   any
+	wireBytes int
+}
+
 // Link is a full-duplex point-to-point link.
 type Link struct {
 	net    *Network
@@ -184,7 +217,14 @@ type Link struct {
 	params model.LinkParams
 	ab, ba *sim.Resource // one serialization server per direction
 
-	drop DropFunc
+	drop   DropFunc
+	faults LinkFaults
+	held   []heldFrame
+
+	// lastArrival tracks the latest scheduled delivery time per direction
+	// so jittered frames cannot overtake earlier ones.
+	lastArrivalAB sim.Time
+	lastArrivalBA sim.Time
 
 	// Stats per link (both directions combined).
 	frames  uint64
@@ -196,6 +236,31 @@ type Link struct {
 // true vanish before entering the wire.
 func (l *Link) SetDrop(fn DropFunc) { l.drop = fn }
 
+// Faults returns the link's current fault state.
+func (l *Link) Faults() LinkFaults { return l.faults }
+
+// SetFaults replaces the link's fault state. Clearing Down releases all
+// held frames, in their original order, through the then-current fault
+// state (so a healed link delivers its backlog at normal link speed).
+func (l *Link) SetFaults(f LinkFaults) {
+	wasDown := l.faults.Down
+	l.faults = f
+	if wasDown && !f.Down {
+		held := l.held
+		l.held = nil
+		for _, h := range held {
+			l.transmit(h.from, h.to, h.proto, h.payload, h.wireBytes)
+		}
+	}
+}
+
+// SetDown severs or restores the link, preserving the other fault fields.
+func (l *Link) SetDown(down bool) {
+	f := l.faults
+	f.Down = down
+	l.SetFaults(f)
+}
+
 // Frames returns the number of frames transmitted.
 func (l *Link) Frames() uint64 { return l.frames }
 
@@ -205,6 +270,9 @@ func (l *Link) Bytes() uint64 { return l.bytes }
 // Dropped returns the number of frames removed by fault injection.
 func (l *Link) Dropped() uint64 { return l.dropped }
 
+// Held returns the number of frames currently queued on a down link.
+func (l *Link) Held() int { return len(l.held) }
+
 func (l *Link) direction(from *Node) *sim.Resource {
 	if from == l.a {
 		return l.ab
@@ -212,18 +280,44 @@ func (l *Link) direction(from *Node) *sim.Resource {
 	return l.ba
 }
 
+func (l *Link) lastArrival(from *Node) *sim.Time {
+	if from == l.a {
+		return &l.lastArrivalAB
+	}
+	return &l.lastArrivalBA
+}
+
 func (l *Link) transmit(from, to *Node, proto Protocol, payload any, wireBytes int) {
+	// Hold before consulting the DropFunc: held frames re-enter transmit
+	// on heal, and each frame must face the predicate exactly once.
+	if l.faults.Down {
+		l.held = append(l.held, heldFrame{from, to, proto, payload, wireBytes})
+		return
+	}
 	if l.drop != nil && l.drop(from, to, payload, wireBytes) {
+		l.dropped++
+		return
+	}
+	if l.faults.LossRate > 0 && l.net.loop.Rand().Float64() < l.faults.LossRate {
 		l.dropped++
 		return
 	}
 	l.frames++
 	l.bytes += uint64(wireBytes)
 	ser := l.params.SerializeTime(wireBytes)
-	prop := l.params.Propagation
+	prop := l.params.Propagation + l.faults.ExtraLatency
+	if l.faults.Jitter > 0 {
+		prop += sim.Time(l.net.loop.Rand().Int63n(int64(l.faults.Jitter)))
+	}
 	loop := l.net.loop
+	last := l.lastArrival(from)
 	l.direction(from).Acquire(ser, func() {
-		loop.After(prop, func() {
+		at := loop.Now() + prop
+		if at < *last {
+			at = *last // FIFO: never overtake an earlier frame
+		}
+		*last = at
+		loop.At(at, func() {
 			if h := to.handlers[proto]; h != nil {
 				h(from, payload, wireBytes)
 			}

@@ -181,6 +181,128 @@ func TestProtocolString(t *testing.T) {
 	}
 }
 
+func TestLinkDownHoldsAndReleasesInOrder(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	link := nw.Connect(a, b)
+	var got []int
+	b.Register(ProtoTCP, func(from *Node, p any, wb int) { got = append(got, p.(int)) })
+
+	link.SetDown(true)
+	loop.At(0, func() {
+		for i := 0; i < 4; i++ {
+			_ = nw.Send(a, b, ProtoTCP, i, 100)
+		}
+	})
+	loop.Run()
+	if len(got) != 0 {
+		t.Fatalf("down link delivered %v", got)
+	}
+	if link.Held() != 4 {
+		t.Fatalf("Held() = %d, want 4", link.Held())
+	}
+	// Heal at a later virtual time: the backlog drains in order.
+	loop.At(loop.Now()+sim.Millisecond, func() { link.SetDown(false) })
+	loop.Run()
+	if len(got) != 4 || link.Held() != 0 {
+		t.Fatalf("after heal: got %v, held %d", got, link.Held())
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("heal reordered frames: %v", got)
+		}
+	}
+}
+
+func TestLinkLossIsDeterministic(t *testing.T) {
+	run := func() (delivered int, dropped uint64) {
+		loop, nw := testNet()
+		a, b := nw.AddNode("a"), nw.AddNode("b")
+		link := nw.Connect(a, b)
+		b.Register(ProtoTCP, func(*Node, any, int) { delivered++ })
+		link.SetFaults(LinkFaults{LossRate: 0.3})
+		loop.At(0, func() {
+			for i := 0; i < 200; i++ {
+				_ = nw.Send(a, b, ProtoTCP, i, 100)
+			}
+		})
+		loop.Run()
+		return delivered, link.Dropped()
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("loss nondeterministic: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+	if x1 == 0 || d1 == 0 {
+		t.Fatalf("loss rate 0.3 dropped %d and delivered %d of 200", x1, d1)
+	}
+}
+
+func TestLinkExtraLatencyDelaysDelivery(t *testing.T) {
+	arrival := func(extra sim.Time) sim.Time {
+		loop, nw := testNet()
+		a, b := nw.AddNode("a"), nw.AddNode("b")
+		link := nw.Connect(a, b)
+		var at sim.Time
+		b.Register(ProtoTCP, func(*Node, any, int) { at = loop.Now() })
+		link.SetFaults(LinkFaults{ExtraLatency: extra})
+		loop.At(0, func() { _ = nw.Send(a, b, ProtoTCP, nil, 100) })
+		loop.Run()
+		return at
+	}
+	base := arrival(0)
+	slow := arrival(5 * sim.Millisecond)
+	if slow != base+5*sim.Millisecond {
+		t.Fatalf("extra latency: base %v, degraded %v", base, slow)
+	}
+}
+
+func TestLinkJitterPreservesFIFO(t *testing.T) {
+	loop, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	link := nw.Connect(a, b)
+	var got []int
+	var at []sim.Time
+	b.Register(ProtoTCP, func(from *Node, p any, wb int) {
+		got = append(got, p.(int))
+		at = append(at, loop.Now())
+	})
+	link.SetFaults(LinkFaults{Jitter: 2 * sim.Millisecond})
+	loop.At(0, func() {
+		for i := 0; i < 50; i++ {
+			_ = nw.Send(a, b, ProtoTCP, i, 100)
+		}
+	})
+	loop.Run()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d of 50 under jitter", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("jitter reordered frames at %d: %v", i, got[:i+1])
+		}
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("arrival times regressed: %v then %v", at[i-1], at[i])
+		}
+	}
+}
+
+func TestSetFaultsPreservedAcrossSetDown(t *testing.T) {
+	_, nw := testNet()
+	a, b := nw.AddNode("a"), nw.AddNode("b")
+	link := nw.Connect(a, b)
+	link.SetFaults(LinkFaults{ExtraLatency: sim.Millisecond, LossRate: 0.1})
+	link.SetDown(true)
+	link.SetDown(false)
+	f := link.Faults()
+	if f.ExtraLatency != sim.Millisecond || f.LossRate != 0.1 || f.Down {
+		t.Fatalf("SetDown clobbered fault state: %+v", f)
+	}
+}
+
 // Property: bigger frames never arrive earlier than smaller ones sent at the
 // same instant on an idle link (serialization is monotone in size).
 func TestPropertyLargerFramesArriveNoEarlier(t *testing.T) {

@@ -27,6 +27,14 @@ type Store struct {
 	data map[string]string
 
 	applied uint64
+
+	// marshaled caches the MarshalState encoding between mutations:
+	// checkpoints take both a snapshot digest and the serialized state,
+	// and the shared cache keeps that a single sort-and-encode pass.
+	// Invariant: non-nil only while it matches data/applied exactly;
+	// the slice is never mutated after creation, so callers may retain
+	// it read-only.
+	marshaled []byte
 }
 
 // New returns an empty store.
@@ -76,6 +84,7 @@ func DecodeOp(op []byte) (code OpCode, key, value string, err error) {
 
 // Execute applies one ordered operation (pbft.Application).
 func (s *Store) Execute(op []byte) []byte {
+	s.marshaled = nil
 	s.applied++
 	code, key, value, err := DecodeOp(op)
 	if err != nil {
@@ -102,10 +111,9 @@ func (s *Store) Execute(op []byte) []byte {
 	}
 }
 
-// Snapshot digests the full state deterministically (pbft.Application):
-// keys are hashed in sorted order so replicas with equal contents produce
-// equal digests regardless of map iteration order.
-func (s *Store) Snapshot() auth.Digest {
+// encodeState serializes the key/value contents in sorted order, the
+// canonical form shared by Snapshot and MarshalState.
+func (s *Store) encodeState() []byte {
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)
@@ -119,5 +127,64 @@ func (s *Store) Snapshot() auth.Digest {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
 		buf = append(buf, v...)
 	}
-	return auth.Hash(buf)
+	return buf
+}
+
+// MarshalState serializes the full store for PBFT state transfer
+// (pbft.StateTransferable): the applied-operation counter followed by the
+// canonical sorted key/value encoding. The result is cached until the
+// next mutation and must be treated as read-only.
+func (s *Store) MarshalState() []byte {
+	if s.marshaled == nil {
+		buf := binary.BigEndian.AppendUint64(nil, s.applied)
+		s.marshaled = append(buf, s.encodeState()...)
+	}
+	return s.marshaled
+}
+
+// Snapshot digests the full marshaled state deterministically
+// (pbft.Application): keys are hashed in sorted order so replicas with
+// equal contents produce equal digests regardless of map iteration order.
+// The digest covers exactly what MarshalState ships — including the
+// applied counter — so state-transfer verification detects tampering with
+// any transferred byte.
+func (s *Store) Snapshot() auth.Digest {
+	return auth.Hash(s.MarshalState())
+}
+
+// UnmarshalState replaces the store's contents with a marshaled state.
+func (s *Store) UnmarshalState(state []byte) error {
+	if len(state) < 8 {
+		return fmt.Errorf("kvstore: state too short (%d bytes)", len(state))
+	}
+	applied := binary.BigEndian.Uint64(state)
+	rest := state[8:]
+	data := make(map[string]string)
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return fmt.Errorf("kvstore: truncated state key length")
+		}
+		// Compare lengths in uint64 so hostile 32-bit length fields
+		// cannot overflow int arithmetic on 32-bit platforms.
+		kl64 := uint64(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if kl64+4 > uint64(len(rest)) {
+			return fmt.Errorf("kvstore: truncated state key")
+		}
+		kl := int(kl64)
+		k := string(rest[:kl])
+		rest = rest[kl:]
+		vl64 := uint64(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if vl64 > uint64(len(rest)) {
+			return fmt.Errorf("kvstore: truncated state value")
+		}
+		vl := int(vl64)
+		data[k] = string(rest[:vl])
+		rest = rest[vl:]
+	}
+	s.data = data
+	s.applied = applied
+	s.marshaled = nil
+	return nil
 }

@@ -70,6 +70,43 @@ func TestSnapshotDeterministicAcrossInsertOrder(t *testing.T) {
 	}
 }
 
+func TestMarshalStateRoundTrip(t *testing.T) {
+	a := New()
+	a.Execute(EncodeOp(OpPut, "x", "1"))
+	a.Execute(EncodeOp(OpPut, "y", "2"))
+	a.Execute(EncodeOp(OpDelete, "x", ""))
+	b := New()
+	b.Execute(EncodeOp(OpPut, "stale", "gone"))
+	if err := b.UnmarshalState(a.MarshalState()); err != nil {
+		t.Fatalf("UnmarshalState: %v", err)
+	}
+	if b.Snapshot() != a.Snapshot() {
+		t.Fatal("restored state digest differs")
+	}
+	if b.Applied() != a.Applied() {
+		t.Fatalf("applied counter not restored: %d vs %d", b.Applied(), a.Applied())
+	}
+	if _, ok := b.Get("stale"); ok {
+		t.Fatal("restore did not replace prior contents")
+	}
+	if v, ok := b.Get("y"); !ok || v != "2" {
+		t.Fatal("restored value missing")
+	}
+}
+
+func TestUnmarshalStateRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{nil, {1, 2}, append(make([]byte, 8), 0, 0, 0, 9, 'x')} {
+		if err := New().UnmarshalState(raw); err == nil {
+			t.Errorf("UnmarshalState(%v) should fail", raw)
+		}
+	}
+	// Empty store round-trips.
+	s := New()
+	if err := s.UnmarshalState(New().MarshalState()); err != nil {
+		t.Fatalf("empty round trip: %v", err)
+	}
+}
+
 // Property: op encoding round-trips for arbitrary keys/values.
 func TestPropertyOpCodec(t *testing.T) {
 	prop := func(code uint8, key, value string) bool {

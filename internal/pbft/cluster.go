@@ -18,7 +18,9 @@ const (
 
 // Cluster assembles a full replica group plus clients over a chosen
 // transport backend on one simulation loop — the harness used by tests,
-// benchmarks and examples.
+// benchmarks and examples. Beyond wiring, it exposes the fault
+// orchestration surface the chaos subsystem drives: Crash, Restart,
+// Partition, Heal and DegradeLink.
 type Cluster struct {
 	Loop     *sim.Loop
 	Network  *fabric.Network
@@ -28,9 +30,23 @@ type Cluster struct {
 	Stacks   []transport.Stack
 	Apps     []Application
 
+	nodes      []*fabric.Node
+	appFactory func(i int) Application
+	keyrings   []*auth.Keyring
+
+	// Connection bookkeeping so a restarted replica can be re-attached
+	// to the surviving transport connections.
+	peerConns     [][]transport.Conn // peerConns[i][j]: outbound i -> j
+	inboundPeer   [][]transport.Conn // peer-initiated conns accepted by i
+	inboundClient [][]transport.Conn // client conns accepted by i
+
 	clientNodes  []*fabric.Node
 	clientStacks []transport.Stack
 	Clients      []*Client
+
+	// OnRestart, if set, is invoked after Restart wires up a fresh
+	// replica — the place to re-attach OnExecute/OnViewChange hooks.
+	OnRestart func(i int, rep *Replica)
 }
 
 // NewCluster builds N replica nodes (full mesh), opens transport stacks of
@@ -43,10 +59,16 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 	}
 	loop := sim.NewLoop(seed)
 	nw := fabric.New(loop, params)
-	c := &Cluster{Loop: loop, Network: nw, Config: cfg, Kind: kind}
+	c := &Cluster{
+		Loop: loop, Network: nw, Config: cfg, Kind: kind,
+		appFactory:    appFactory,
+		peerConns:     make([][]transport.Conn, cfg.N),
+		inboundPeer:   make([][]transport.Conn, cfg.N),
+		inboundClient: make([][]transport.Conn, cfg.N),
+	}
 
 	opts := transport.DefaultOptions()
-	rings := auth.GenerateKeyrings(cfg.N, uint64(seed)+1)
+	c.keyrings = auth.GenerateKeyrings(cfg.N, uint64(seed)+1)
 	for i := 0; i < cfg.N; i++ {
 		node := nw.AddNode(fmt.Sprintf("r%d", i))
 		st, err := transport.NewStack(kind, node, opts)
@@ -54,18 +76,20 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 			return nil, err
 		}
 		app := appFactory(i)
-		rep, err := NewReplica(uint32(i), cfg, node, rings[i], app)
+		rep, err := NewReplica(uint32(i), cfg, node, c.keyrings[i], app)
 		if err != nil {
 			return nil, err
 		}
+		c.nodes = append(c.nodes, node)
 		c.Stacks = append(c.Stacks, st)
 		c.Replicas = append(c.Replicas, rep)
 		c.Apps = append(c.Apps, app)
+		c.peerConns[i] = make([]transport.Conn, cfg.N)
 	}
 	// Full mesh links.
 	for i := 0; i < cfg.N; i++ {
 		for j := i + 1; j < cfg.N; j++ {
-			nw.Connect(nw.Node(fmt.Sprintf("r%d", i)), nw.Node(fmt.Sprintf("r%d", j)))
+			nw.Connect(c.nodes[i], c.nodes[j])
 		}
 	}
 	return c, nil
@@ -76,14 +100,16 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 func (c *Cluster) Start() error {
 	var setupErr error
 	for i, st := range c.Stacks {
-		rep := c.Replicas[i]
+		i := i
 		if err := st.Listen(PeerPort, func(conn transport.Conn) {
-			rep.AttachInbound(conn)
+			c.inboundPeer[i] = append(c.inboundPeer[i], conn)
+			c.Replicas[i].AttachInbound(conn)
 		}); err != nil {
 			return err
 		}
 		if err := st.Listen(ClientPort, func(conn transport.Conn) {
-			rep.HandleClientConn(conn)
+			c.inboundClient[i] = append(c.inboundClient[i], conn)
+			c.Replicas[i].HandleClientConn(conn)
 		}); err != nil {
 			return err
 		}
@@ -96,11 +122,12 @@ func (c *Cluster) Start() error {
 			}
 			i, j := i, j
 			c.Loop.Post(func() {
-				c.Stacks[i].Dial(c.Network.Node(fmt.Sprintf("r%d", j)), PeerPort, func(conn transport.Conn, err error) {
+				c.Stacks[i].Dial(c.nodes[j], PeerPort, func(conn transport.Conn, err error) {
 					if err != nil {
 						setupErr = fmt.Errorf("dial r%d->r%d: %w", i, j, err)
 						return
 					}
+					c.peerConns[i][j] = conn
 					c.Replicas[i].AttachPeer(uint32(j), conn)
 					dials++
 				})
@@ -124,7 +151,7 @@ func (c *Cluster) AddClient() (*Client, error) {
 	id := uint32(100 + len(c.Clients))
 	node := c.Network.AddNode(fmt.Sprintf("client%d", id))
 	for i := 0; i < c.Config.N; i++ {
-		c.Network.Connect(node, c.Network.Node(fmt.Sprintf("r%d", i)))
+		c.Network.Connect(node, c.nodes[i])
 	}
 	st, err := transport.NewStack(c.Kind, node, transport.DefaultOptions())
 	if err != nil {
@@ -136,7 +163,7 @@ func (c *Cluster) AddClient() (*Client, error) {
 	for i := 0; i < c.Config.N; i++ {
 		i := i
 		c.Loop.Post(func() {
-			st.Dial(c.Network.Node(fmt.Sprintf("r%d", i)), ClientPort, func(conn transport.Conn, err error) {
+			st.Dial(c.nodes[i], ClientPort, func(conn transport.Conn, err error) {
 				if err != nil {
 					dialErr = err
 					return
@@ -161,3 +188,92 @@ func (c *Cluster) AddClient() (*Client, error) {
 
 // RunFor advances the simulation by d.
 func (c *Cluster) RunFor(d sim.Time) { c.Loop.RunUntil(c.Loop.Now() + d) }
+
+// ---------------------------------------------------------------------------
+// Fault orchestration (driven by internal/chaos)
+// ---------------------------------------------------------------------------
+
+// Crash fault-stops replica i: the process sends nothing, hears nothing
+// and fires no timers from this instant on. All volatile state is lost;
+// recovery goes through Restart.
+func (c *Cluster) Crash(i int) { c.Replicas[i].Stop() }
+
+// Restart replaces a crashed replica with a fresh instance — empty log,
+// empty application state, view 0 — attached to the surviving transport
+// connections, then starts state transfer so it fetches the group's
+// latest stable checkpoint and rejoins.
+func (c *Cluster) Restart(i int) error {
+	// Silence the old instance even if Crash was never called: two live
+	// replicas sharing identity and keyring would equivocate.
+	c.Replicas[i].Stop()
+	app := c.appFactory(i)
+	rep, err := NewReplica(uint32(i), c.Config, c.nodes[i], c.keyrings[i], app)
+	if err != nil {
+		return err
+	}
+	c.Replicas[i] = rep
+	c.Apps[i] = app
+	for j, conn := range c.peerConns[i] {
+		if conn != nil {
+			rep.AttachPeer(uint32(j), conn)
+		}
+	}
+	for _, conn := range c.inboundPeer[i] {
+		rep.AttachInbound(conn)
+	}
+	for _, conn := range c.inboundClient[i] {
+		rep.HandleClientConn(conn)
+	}
+	if c.OnRestart != nil {
+		c.OnRestart(i, rep)
+	}
+	rep.RequestStateTransfer()
+	return nil
+}
+
+// ReplicaLink returns the fabric link between replicas i and j.
+func (c *Cluster) ReplicaLink(i, j int) *fabric.Link {
+	return c.Network.Link(c.nodes[i], c.nodes[j])
+}
+
+// Partition installs the requested topology among the listed replicas:
+// links between replicas in different groups go down, links within a
+// group come (back) up — so successive Partition calls over the same
+// replicas replace each other rather than accumulate. Links touching a
+// replica not listed in any group are left untouched (so independent
+// DegradeLink faults survive), as are client links. Severed links hold
+// frames and deliver them on Heal — a partition is an unbounded message
+// delay, the standard asynchronous-network model.
+func (c *Cluster) Partition(groups ...[]int) {
+	grp := make(map[int]int)
+	for g, members := range groups {
+		for _, i := range members {
+			grp[i] = g
+		}
+	}
+	for i := 0; i < c.Config.N; i++ {
+		for j := i + 1; j < c.Config.N; j++ {
+			gi, oki := grp[i]
+			gj, okj := grp[j]
+			if oki && okj {
+				c.ReplicaLink(i, j).SetDown(gi != gj)
+			}
+		}
+	}
+}
+
+// Heal restores every replica-to-replica link — including ones severed
+// via DegradeLink — releasing held frames in their original order.
+func (c *Cluster) Heal() {
+	for i := 0; i < c.Config.N; i++ {
+		for j := i + 1; j < c.Config.N; j++ {
+			c.ReplicaLink(i, j).SetDown(false)
+		}
+	}
+}
+
+// DegradeLink applies fault state (loss, extra latency, jitter, down) to
+// the link between replicas i and j.
+func (c *Cluster) DegradeLink(i, j int, f fabric.LinkFaults) {
+	c.ReplicaLink(i, j).SetFaults(f)
+}

@@ -34,6 +34,8 @@ func TestCodecRoundTripAllTypes(t *testing.T) {
 		ViewChange{NewView: 5, Stable: 64, Replica: 2,
 			Prepared: []PreparedProof{{View: 4, Seq: 65, Digest: d, Batch: reqs}}},
 		NewView{View: 5, PrePrepares: []PrePrepare{{View: 5, Seq: 65, Digest: d, Batch: reqs}}},
+		StateRequest{Seq: 42, Replica: 3},
+		StateResponse{Seq: 64, View: 5, Digest: d, State: []byte("snapshot"), Replica: 1},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -84,6 +86,9 @@ func normalize(m Message) Message {
 		for i := range v.PrePrepares {
 			v.PrePrepares[i].Batch = fixReqs(v.PrePrepares[i].Batch)
 		}
+		return v
+	case StateResponse:
+		v.State = fix(v.State)
 		return v
 	default:
 		return m

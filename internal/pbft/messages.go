@@ -31,6 +31,8 @@ const (
 	MsgCheckpoint
 	MsgViewChange
 	MsgNewView
+	MsgStateRequest
+	MsgStateResponse
 )
 
 func (t MsgType) String() string {
@@ -51,6 +53,10 @@ func (t MsgType) String() string {
 		return "VIEW-CHANGE"
 	case MsgNewView:
 		return "NEW-VIEW"
+	case MsgStateRequest:
+		return "STATE-REQUEST"
+	case MsgStateResponse:
+		return "STATE-RESPONSE"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -131,6 +137,34 @@ type NewView struct {
 	PrePrepares []PrePrepare
 }
 
+// StateRequest asks peers for the state at their latest stable checkpoint.
+// A restarted or lagging replica sends it when it detects that the group
+// has advanced past its own execution point (Castro & Liskov §4.6, state
+// transfer).
+type StateRequest struct {
+	// Seq is the requester's last executed sequence; peers respond only
+	// if their stable checkpoint is beyond it.
+	Seq     uint64
+	Replica uint32
+}
+
+// StateResponse carries a responder's stable checkpoint: the application
+// snapshot plus the checkpoint digest the group certified. The requester
+// adopts a checkpoint once F+1 responders vouch for the same (Seq, Digest)
+// and the carried state verifies against the digest.
+type StateResponse struct {
+	// Seq is the responder's stable checkpoint sequence.
+	Seq uint64
+	// View is the responder's current view, letting a restarted replica
+	// rejoin the active view instead of timing out from view 0.
+	View uint64
+	// Digest is the checkpoint digest certified by a checkpoint quorum.
+	Digest auth.Digest
+	// State is the serialized application snapshot at Seq.
+	State   []byte
+	Replica uint32
+}
+
 // ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------
@@ -138,14 +172,16 @@ type NewView struct {
 // Message is the union of all protocol payloads.
 type Message interface{ msgType() MsgType }
 
-func (Request) msgType() MsgType    { return MsgRequest }
-func (PrePrepare) msgType() MsgType { return MsgPrePrepare }
-func (Prepare) msgType() MsgType    { return MsgPrepare }
-func (Commit) msgType() MsgType     { return MsgCommit }
-func (Reply) msgType() MsgType      { return MsgReply }
-func (Checkpoint) msgType() MsgType { return MsgCheckpoint }
-func (ViewChange) msgType() MsgType { return MsgViewChange }
-func (NewView) msgType() MsgType    { return MsgNewView }
+func (Request) msgType() MsgType       { return MsgRequest }
+func (PrePrepare) msgType() MsgType    { return MsgPrePrepare }
+func (Prepare) msgType() MsgType       { return MsgPrepare }
+func (Commit) msgType() MsgType        { return MsgCommit }
+func (Reply) msgType() MsgType         { return MsgReply }
+func (Checkpoint) msgType() MsgType    { return MsgCheckpoint }
+func (ViewChange) msgType() MsgType    { return MsgViewChange }
+func (NewView) msgType() MsgType       { return MsgNewView }
+func (StateRequest) msgType() MsgType  { return MsgStateRequest }
+func (StateResponse) msgType() MsgType { return MsgStateResponse }
 
 type encoder struct{ buf []byte }
 
@@ -302,6 +338,15 @@ func Encode(m Message) []byte {
 			e.digest(pp.Digest)
 			encodeRequests(e, pp.Batch)
 		}
+	case StateRequest:
+		e.u64(v.Seq)
+		e.u32(v.Replica)
+	case StateResponse:
+		e.u64(v.Seq)
+		e.u64(v.View)
+		e.digest(v.Digest)
+		e.bytes(v.State)
+		e.u32(v.Replica)
 	default:
 		panic(fmt.Sprintf("pbft: cannot encode %T", m))
 	}
@@ -353,6 +398,10 @@ func Decode(raw []byte) (Message, error) {
 			d.fail()
 		}
 		m = nv
+	case MsgStateRequest:
+		m = StateRequest{Seq: d.u64(), Replica: d.u32()}
+	case MsgStateResponse:
+		m = StateResponse{Seq: d.u64(), View: d.u64(), Digest: d.digest(), State: d.bytes(), Replica: d.u32()}
 	default:
 		return nil, fmt.Errorf("pbft: unknown message type %d", t)
 	}

@@ -18,6 +18,22 @@ type Application interface {
 	Snapshot() auth.Digest
 }
 
+// StateTransferable is the optional application interface enabling PBFT
+// state transfer: applications that can serialize and restore their full
+// state let a restarted or lagging replica adopt a peer's stable
+// checkpoint instead of replaying the whole history. UnmarshalState must
+// fully replace the current state, and a restored state must produce the
+// same Snapshot digest as the original.
+//
+// The marshaled state travels in a single StateResponse message, so it
+// must fit the transport's maximum message size (transport.Options
+// MaxMessage, 256 KB by default) or responses are dropped and recovery
+// stalls; chunked transfer for larger states is future work.
+type StateTransferable interface {
+	MarshalState() []byte
+	UnmarshalState(state []byte) error
+}
+
 // Config tunes a replica group.
 type Config struct {
 	// N is the group size; F the tolerated faults. N must be >= 3F+1.
@@ -79,6 +95,9 @@ type Faults struct {
 	EquivocateLeader bool
 	// CorruptMACs invalidates outgoing authenticators.
 	CorruptMACs bool
+	// SendDelay postpones every outgoing message by this duration (a
+	// slow or deliberately delaying replica).
+	SendDelay sim.Time
 }
 
 // slot is one sequence number's agreement state.
@@ -118,6 +137,21 @@ type Replica struct {
 
 	checkpoints map[uint64]map[uint32]auth.Digest
 	snapshots   map[uint64]auth.Digest // own checkpoint digests
+	states      map[uint64][]byte      // serialized app state per own checkpoint
+
+	// State transfer: the latest response retained per authenticated
+	// sender — bounded by N, so a Byzantine peer streaming responses
+	// only ever occupies its own slot. stateTarget is the newest
+	// quorum-certified checkpoint we know we are missing; fetch retries
+	// stop once execution reaches it.
+	stateVotes     map[uint32]StateResponse
+	stateFetching  bool
+	stateTarget    uint64
+	stateRetry     *sim.Timer
+	stateTransfers uint64
+
+	// stopped marks a crashed process: no sends, no receives, no timers.
+	stopped bool
 
 	// Leader batching.
 	pending    []Request
@@ -161,6 +195,8 @@ func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring,
 		log:          make(map[uint64]*slot),
 		checkpoints:  make(map[uint64]map[uint32]auth.Digest),
 		snapshots:    make(map[uint64]auth.Digest),
+		states:       make(map[uint64][]byte),
+		stateVotes:   make(map[uint32]StateResponse),
 		proposed:     make(map[string]bool),
 		replyCache:   make(map[uint32]Reply),
 		reqTimers:    make(map[string]*sim.Timer),
@@ -184,8 +220,30 @@ func (r *Replica) Stable() uint64 { return r.stable }
 // LogSize returns the number of live slots (for GC assertions).
 func (r *Replica) LogSize() int { return len(r.log) }
 
+// StateTransfers returns the number of completed state transfers.
+func (r *Replica) StateTransfers() uint64 { return r.stateTransfers }
+
 // SetFaults installs fault-injection behaviour.
 func (r *Replica) SetFaults(f Faults) { r.faults = f }
+
+// Stop halts the replica permanently: a stopped replica sends nothing,
+// ignores all inbound traffic and fires no timers — the process-crash
+// model used by the chaos subsystem. Recovery is a fresh Replica plus
+// state transfer (see Cluster.Restart), mirroring a real reboot that
+// loses all volatile state.
+func (r *Replica) Stop() {
+	r.stopped = true
+	if r.batchTimer != nil {
+		r.batchTimer.Cancel()
+	}
+	for _, t := range r.reqTimers {
+		t.Cancel()
+	}
+	r.reqTimers = make(map[string]*sim.Timer)
+	if r.stateRetry != nil {
+		r.stateRetry.Cancel()
+	}
+}
 
 // OnExecute installs a hook invoked after each executed batch.
 func (r *Replica) OnExecute(fn func(seq uint64, batch []Request)) { r.onExecute = fn }
@@ -231,9 +289,24 @@ func (r *Replica) HandleClientConn(conn transport.Conn) {
 // crypto charges modeled CPU time for cryptographic work.
 func (r *Replica) crypto(d sim.Time) { r.node.CPU.Delay(d) }
 
+// deferSend runs fn now, or after the injected SendDelay fault. A delayed
+// send re-checks the crash state at fire time: a replica that Stop()s
+// while a send is queued must not transmit afterwards.
+func (r *Replica) deferSend(fn func()) {
+	if r.faults.SendDelay > 0 {
+		r.node.Loop().After(r.faults.SendDelay, func() {
+			if !r.stopped {
+				fn()
+			}
+		})
+		return
+	}
+	fn()
+}
+
 // broadcast authenticates and sends a message to all other replicas.
 func (r *Replica) broadcast(m Message) {
-	if r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
+	if r.stopped || r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
 		return
 	}
 	payload := Encode(m)
@@ -244,13 +317,15 @@ func (r *Replica) broadcast(m Message) {
 		corruptAuth(a)
 	}
 	if pp, isPP := m.(PrePrepare); isPP && r.faults.EquivocateLeader {
-		r.equivocate(pp, a)
+		r.deferSend(func() { r.equivocate(pp, a) })
 		return
 	}
 	env := EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a})
-	for _, id := range r.peerIDs() {
-		_ = r.peers[id].Send(env)
-	}
+	r.deferSend(func() {
+		for _, id := range r.peerIDs() {
+			_ = r.peers[id].Send(env)
+		}
+	})
 }
 
 // peerIDs returns connected peers in ascending order so send order (and
@@ -284,7 +359,7 @@ func (r *Replica) equivocate(pp PrePrepare, a auth.Authenticator) {
 
 // send authenticates and sends to one replica.
 func (r *Replica) send(to uint32, m Message) {
-	if r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
+	if r.stopped || r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
 		return
 	}
 	conn := r.peers[to]
@@ -298,7 +373,8 @@ func (r *Replica) send(to uint32, m Message) {
 	if r.faults.CorruptMACs {
 		corruptAuth(a)
 	}
-	_ = conn.Send(EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a}))
+	env := EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a})
+	r.deferSend(func() { _ = conn.Send(env) })
 }
 
 func corruptAuth(a auth.Authenticator) {
@@ -311,6 +387,9 @@ func corruptAuth(a auth.Authenticator) {
 
 // handleEnvelope verifies and dispatches one replica-to-replica message.
 func (r *Replica) handleEnvelope(raw []byte) {
+	if r.stopped {
+		return
+	}
 	env, err := DecodeEnvelope(raw)
 	if err != nil {
 		return
@@ -324,6 +403,14 @@ func (r *Replica) handleEnvelope(raw []byte) {
 	if err != nil {
 		return
 	}
+	// Bind claimed identity to the authenticated sender: vote-carrying
+	// messages whose in-payload Replica field does not match the MAC'd
+	// envelope sender are forgeries (one Byzantine peer spoofing other
+	// replicas' votes to fabricate quorums) and are dropped here so no
+	// handler ever counts a vote under a spoofed identity.
+	if claimed, ok := claimedReplica(msg); ok && claimed != env.Sender {
+		return
+	}
 	switch m := msg.(type) {
 	case Request: // forwarded by a backup to the leader
 		r.handleRequest(m)
@@ -334,11 +421,36 @@ func (r *Replica) handleEnvelope(raw []byte) {
 	case Commit:
 		r.handleCommit(m)
 	case Checkpoint:
-		r.handleCheckpoint(m)
+		r.handleCheckpoint(env.Sender, m)
 	case ViewChange:
 		r.handleViewChange(m)
 	case NewView:
 		r.handleNewView(env.Sender, m)
+	case StateRequest:
+		r.handleStateRequest(env.Sender, m)
+	case StateResponse:
+		r.handleStateResponse(env.Sender, m)
+	}
+}
+
+// claimedReplica extracts the replica identity a message claims to
+// originate from, for messages that carry one.
+func claimedReplica(m Message) (uint32, bool) {
+	switch v := m.(type) {
+	case Prepare:
+		return v.Replica, true
+	case Commit:
+		return v.Replica, true
+	case Checkpoint:
+		return v.Replica, true
+	case ViewChange:
+		return v.Replica, true
+	case StateRequest:
+		return v.Replica, true
+	case StateResponse:
+		return v.Replica, true
+	default:
+		return 0, false
 	}
 }
 
@@ -347,6 +459,9 @@ func (r *Replica) handleEnvelope(raw []byte) {
 // ---------------------------------------------------------------------------
 
 func (r *Replica) handleRequest(req Request) {
+	if r.stopped {
+		return
+	}
 	key := req.Key()
 	// Exactly-once: answer repeats from the cache.
 	if last, ok := r.replyCache[req.Client]; ok && last.Timestamp == req.Timestamp {
@@ -397,7 +512,7 @@ func (r *Replica) cancelRequestTimer(key string) {
 // proposeBatch assigns the next sequence number to the pending batch and
 // broadcasts the pre-prepare.
 func (r *Replica) proposeBatch() {
-	if len(r.pending) == 0 || !r.IsLeader() || r.viewChanging {
+	if r.stopped || len(r.pending) == 0 || !r.IsLeader() || r.viewChanging {
 		return
 	}
 	if r.seqNext >= r.stable+r.cfg.LogWindow {
@@ -435,7 +550,7 @@ func (r *Replica) proposeBatch() {
 // Reptor's executor uses this to fill holes in the merged global order
 // when an instance is idle.
 func (r *Replica) ProposeHeartbeat(round uint64) {
-	if !r.IsLeader() || r.viewChanging {
+	if r.stopped || !r.IsLeader() || r.viewChanging {
 		return
 	}
 	if r.seqNext >= round {
@@ -609,7 +724,7 @@ func (r *Replica) tryExecute() {
 }
 
 func (r *Replica) reply(client uint32, rep Reply) {
-	if r.faults.Crashed {
+	if r.stopped || r.faults.Crashed {
 		return
 	}
 	conn := r.clientConns[client]
@@ -619,7 +734,7 @@ func (r *Replica) reply(client uint32, rep Reply) {
 	payload := Encode(rep)
 	p := r.node.Network().Params().Crypto
 	r.crypto(auth.Cost(p, len(payload)))
-	_ = conn.Send(payload)
+	r.deferSend(func() { _ = conn.Send(payload) })
 }
 
 // ---------------------------------------------------------------------------
@@ -629,16 +744,20 @@ func (r *Replica) reply(client uint32, rep Reply) {
 func (r *Replica) takeCheckpoint(seq uint64) {
 	d := r.app.Snapshot()
 	r.snapshots[seq] = d
+	if st, ok := r.app.(StateTransferable); ok {
+		// Retain the serialized state so lagging peers can fetch it.
+		r.states[seq] = st.MarshalState()
+	}
 	cp := Checkpoint{Seq: seq, Digest: d, Replica: r.id}
-	r.recordCheckpoint(cp)
+	r.recordCheckpoint(r.id, cp)
 	r.broadcast(cp)
 }
 
-func (r *Replica) handleCheckpoint(m Checkpoint) {
-	r.recordCheckpoint(m)
+func (r *Replica) handleCheckpoint(sender uint32, m Checkpoint) {
+	r.recordCheckpoint(sender, m)
 }
 
-func (r *Replica) recordCheckpoint(m Checkpoint) {
+func (r *Replica) recordCheckpoint(sender uint32, m Checkpoint) {
 	if m.Seq <= r.stable {
 		return
 	}
@@ -647,17 +766,40 @@ func (r *Replica) recordCheckpoint(m Checkpoint) {
 		set = make(map[uint32]auth.Digest)
 		r.checkpoints[m.Seq] = set
 	}
-	set[m.Replica] = m.Digest
+	// Key votes by the envelope-verified sender: the in-payload Replica
+	// field is unauthenticated, and a checkpoint certificate assembled
+	// from forged identities would let one Byzantine peer authorize a
+	// state transfer of attacker-chosen state (tryAdoptState path 2).
+	set[sender] = m.Digest
 	// Count matching digests.
 	counts := make(map[auth.Digest]int)
 	for _, d := range set {
 		counts[d]++
 	}
 	for d, c := range counts {
-		if c >= r.cfg.Quorum() && r.snapshots[m.Seq] == d {
-			r.advanceStable(m.Seq)
-			return
+		if c < r.cfg.Quorum() {
+			continue
 		}
+		if r.snapshots[m.Seq] == d {
+			r.advanceStable(m.Seq)
+		} else if m.Seq >= r.executed+r.cfg.CheckpointEvery {
+			// The group certified a checkpoint at least one full
+			// interval beyond our execution point: we missed commits
+			// (restarted, partitioned, or far behind) and will not
+			// catch up from our own log. Fetch the state instead of
+			// stalling. A replica less than one interval behind is
+			// still executing from its log and needs no transfer.
+			if m.Seq > r.stateTarget {
+				r.stateTarget = m.Seq
+			}
+			// A state response for this very checkpoint may already be
+			// waiting for exactly this certificate.
+			if r.tryAdoptState() {
+				return
+			}
+			r.requestStateTransfer()
+		}
+		return
 	}
 }
 
@@ -682,8 +824,260 @@ func (r *Replica) advanceStable(seq uint64) {
 			delete(r.snapshots, s)
 		}
 	}
+	for s := range r.states {
+		if s < seq {
+			delete(r.states, s)
+		}
+	}
+	// State responses at or below the new stable point can never be
+	// adopted (adoption requires seq > executed >= stable).
+	for id, resp := range r.stateVotes {
+		if resp.Seq <= seq {
+			delete(r.stateVotes, id)
+		}
+	}
 	if r.IsLeader() && len(r.pending) > 0 {
 		r.node.Loop().Post(r.proposeBatch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (Castro & Liskov §4.6)
+//
+// A replica that detects the group has certified a checkpoint beyond its
+// own execution point — because it just restarted with empty state, was
+// partitioned away, or simply fell behind — asks its peers for their
+// latest stable checkpoint. It adopts a checkpoint once F+1 replicas vouch
+// for the same (sequence, digest) pair (at least one of them is correct)
+// and a carried snapshot actually re-hashes to the certified digest.
+// ---------------------------------------------------------------------------
+
+// RequestStateTransfer probes peers for their latest stable checkpoint
+// (used by Cluster.Restart for a rebooted replica). It is a no-op if the
+// application cannot transfer state or a fetch is already in flight.
+// Retries only persist while a certified checkpoint beyond our execution
+// point is actually known to exist (stateTarget, maintained by
+// recordCheckpoint): if no peer has anything to serve — the group has no
+// stable checkpoint yet — the probe goes unanswered once and the replica
+// stays quiet until live checkpoint certificates reveal a gap, keeping
+// an idle simulation drainable.
+func (r *Replica) RequestStateTransfer() { r.requestStateTransfer() }
+
+func (r *Replica) requestStateTransfer() {
+	if r.stopped || r.stateFetching {
+		return
+	}
+	if _, ok := r.app.(StateTransferable); !ok {
+		return
+	}
+	r.stateFetching = true
+	r.broadcast(StateRequest{Seq: r.executed, Replica: r.id})
+	// If no adoptable quorum of responses arrives, ask again — unless we
+	// caught up through normal execution in the meantime. Retrying is
+	// warranted while either a certified checkpoint is known to be
+	// missing or peers demonstrably hold state ahead of us (responses
+	// collected but not yet adoptable, e.g. transiently scattered stable
+	// points); with neither, the probe goes quiet so an idle simulation
+	// drains.
+	r.stateRetry = r.node.Loop().After(r.cfg.ViewTimeout, func() {
+		if r.stopped || !r.stateFetching {
+			return
+		}
+		r.stateFetching = false
+		if r.executed < r.stateTarget || r.peersAhead() {
+			r.requestStateTransfer()
+		}
+	})
+}
+
+// peersAhead reports whether any collected state response is beyond our
+// execution point.
+func (r *Replica) peersAhead() bool {
+	for _, resp := range r.stateVotes {
+		if resp.Seq > r.executed {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) handleStateRequest(sender uint32, m StateRequest) {
+	if m.Seq >= r.stable {
+		return // the requester is at least as current as our checkpoint
+	}
+	state, ok := r.states[r.stable]
+	if !ok {
+		return
+	}
+	// Reply to the authenticated sender, not the claimed Replica field.
+	r.send(sender, StateResponse{
+		Seq: r.stable, View: r.view, Digest: r.snapshots[r.stable],
+		State: state, Replica: r.id,
+	})
+}
+
+func (r *Replica) handleStateResponse(sender uint32, m StateResponse) {
+	if _, ok := r.app.(StateTransferable); !ok || m.Seq <= r.executed {
+		return
+	}
+	// Retain the newest response per authenticated sender. Keying by the
+	// envelope-verified sender (the in-payload Replica field is
+	// unauthenticated) both prevents one Byzantine peer from forging an
+	// F+1 quorum of "distinct" responders and bounds the store at one
+	// snapshot per peer no matter how many responses it streams.
+	if prev, held := r.stateVotes[sender]; !held || m.Seq >= prev.Seq {
+		r.stateVotes[sender] = m
+	}
+	r.tryAdoptState()
+}
+
+// tryAdoptState adopts a stored state response if one is certified,
+// reporting success. Two certification paths:
+//
+//  1. F+1 responders vouch for the same (seq, digest) — at least one of
+//     them is correct.
+//  2. A single response matches a checkpoint-quorum certificate this
+//     replica assembled from the group's normal CHECKPOINT broadcasts
+//     (2F+1 matching digests in r.checkpoints[seq]). This is how a
+//     replica catches up while the group keeps executing at full speed:
+//     peers' stable checkpoints advance so quickly that F+1 identical
+//     responses may never accumulate, but certificates keep arriving.
+func (r *Replica) tryAdoptState() bool {
+	st, ok := r.app.(StateTransferable)
+	if !ok || len(r.stateVotes) == 0 {
+		return false
+	}
+	type group struct {
+		seq    uint64
+		digest auth.Digest
+	}
+	tried := make(map[group]bool)
+	// Scan responses in replica order for determinism, one verification
+	// attempt per distinct (seq, digest) group.
+	for id := uint32(0); id < uint32(r.cfg.N); id++ {
+		resp, held := r.stateVotes[id]
+		if !held || resp.Seq <= r.executed {
+			continue
+		}
+		g := group{resp.Seq, resp.Digest}
+		if tried[g] {
+			continue
+		}
+		tried[g] = true
+		var matching []StateResponse
+		for j := uint32(0); j < uint32(r.cfg.N); j++ {
+			if other, held := r.stateVotes[j]; held && other.Seq == resp.Seq && other.Digest == resp.Digest {
+				matching = append(matching, other)
+			}
+		}
+		certVotes := 0
+		for _, d := range r.checkpoints[resp.Seq] {
+			if d == resp.Digest {
+				certVotes++
+			}
+		}
+		if len(matching) < r.cfg.F+1 && certVotes < r.cfg.Quorum() {
+			continue
+		}
+		// Certified. A Byzantine responder may still have attached
+		// bogus state bytes under the right digest, so restore copies
+		// until one re-hashes to the certified digest — and put the
+		// previous state back if none does, since UnmarshalState
+		// mutates the live application.
+		prev := st.MarshalState()
+		p := r.node.Network().Params().Crypto
+		for _, cand := range matching {
+			if err := st.UnmarshalState(cand.State); err != nil {
+				continue
+			}
+			r.crypto(auth.DigestCost(p, len(cand.State)))
+			if r.app.Snapshot() == resp.Digest {
+				// The View field is only corroborated when F+1
+				// responders agree; a lone certificate-backed response
+				// could carry an inflated view that would wedge us.
+				view := r.view
+				if len(matching) >= r.cfg.F+1 {
+					view = minResponseView(matching)
+				}
+				r.adoptCheckpoint(resp.Seq, resp.Digest, cand.State, view)
+				return true
+			}
+		}
+		if err := st.UnmarshalState(prev); err != nil {
+			panic(fmt.Sprintf("pbft: replica %d failed to restore state after rejected transfer: %v", r.id, err))
+		}
+	}
+	return false
+}
+
+// minResponseView returns the smallest view among matching responders:
+// adopting the minimum is conservative (at most as new as some correct
+// replica's view); a stale view only costs extra view-change latency.
+func minResponseView(matching []StateResponse) uint64 {
+	min := matching[0].View
+	for _, resp := range matching[1:] {
+		if resp.View < min {
+			min = resp.View
+		}
+	}
+	return min
+}
+
+// adoptCheckpoint installs a fetched stable checkpoint: the application
+// state is already restored; fast-forward the agreement bookkeeping.
+func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, state []byte, view uint64) {
+	r.executed = seq
+	if r.seqNext < seq {
+		r.seqNext = seq
+	}
+	r.snapshots[seq] = d
+	stateCopy := make([]byte, len(state))
+	copy(stateCopy, state)
+	r.states[seq] = stateCopy
+	if view > r.view {
+		r.view = view
+		// Observers track the current leader through this hook on
+		// every other view-installation path; a recovered replica's
+		// jump must be visible too.
+		if r.onViewChange != nil {
+			r.onViewChange(view)
+		}
+	}
+	// The checkpoint subsumes every request ordered below it, but we
+	// cannot tell which of the requests we are watching those are: drop
+	// all request bookkeeping and let live traffic re-arm. Leaving the
+	// timers armed would fire view-change demands for long-committed
+	// requests and wedge the replica in viewChanging — blocking the very
+	// catch-up the transfer enables.
+	r.pending = nil
+	r.proposed = make(map[string]bool)
+	r.requestStore = make(map[string]Request)
+	for key, t := range r.reqTimers {
+		t.Cancel()
+		delete(r.reqTimers, key)
+	}
+	// Any view change we demanded was based on pre-transfer lag; rejoin
+	// the group's current view instead of staying wedged. If a genuine
+	// view change is in progress, its NEW-VIEW will reach us normally.
+	r.viewChanging = false
+	for view := range r.vcVotes {
+		if view <= r.view {
+			delete(r.vcVotes, view)
+		}
+	}
+	r.advanceStable(seq) // also prunes stateVotes at or below seq
+	r.stateFetching = false
+	if r.stateRetry != nil {
+		r.stateRetry.Cancel()
+	}
+	r.stateTransfers++
+	// Commits above the checkpoint may already be quorate in the log.
+	r.tryExecute()
+	// An older certified checkpoint can win the adoption scan while a
+	// newer one is still known to be missing; keep fetching until
+	// execution reaches the target instead of going quiet here.
+	if r.executed < r.stateTarget {
+		r.requestStateTransfer()
 	}
 }
 
@@ -692,7 +1086,7 @@ func (r *Replica) advanceStable(seq uint64) {
 // ---------------------------------------------------------------------------
 
 func (r *Replica) startViewChange(newView uint64) {
-	if newView <= r.view || (r.viewChanging && newView <= r.pendingView()) {
+	if r.stopped || newView <= r.view || (r.viewChanging && newView <= r.pendingView()) {
 		return
 	}
 	r.viewChanging = true

@@ -1,0 +1,229 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// transferConfig checkpoints frequently so state transfer engages within
+// short workloads.
+func transferConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 2
+	cfg.CheckpointEvery = 4
+	cfg.LogWindow = 64
+	return cfg
+}
+
+func invokeN(t *testing.T, c *Cluster, cl *Client, prefix string, n int) {
+	t.Helper()
+	done := 0
+	c.Loop.Post(func() {
+		for k := 0; k < n; k++ {
+			cl.Invoke(kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("%s%03d", prefix, k), "v"), func([]byte) { done++ })
+		}
+	})
+	c.Loop.Run()
+	if done != n {
+		t.Fatalf("completed %d of %d %q requests", done, n, prefix)
+	}
+}
+
+// TestStateTransferRoundTrip crashes a backup, advances the group past
+// several checkpoints, restarts it and verifies the newcomer fetches the
+// stable checkpoint, verifies it against the certified digest, and
+// converges to the group's state — on both transport backends.
+func TestStateTransferRoundTrip(t *testing.T) {
+	for _, kind := range []transport.Kind{transport.KindTCP, transport.KindRDMA} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			c := newTestCluster(t, kind, transferConfig())
+			cl, err := c.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Crash(3)
+			invokeN(t, c, cl, "down", 20) // 10 seqs, stable reaches 8
+			if c.Replicas[0].Stable() < 8 {
+				t.Fatalf("stable = %d before restart, want >= 8", c.Replicas[0].Stable())
+			}
+			if err := c.Restart(3); err != nil {
+				t.Fatal(err)
+			}
+			c.Loop.Run() // let the state transfer complete
+			invokeN(t, c, cl, "up", 10)
+			c.RunFor(200 * sim.Millisecond)
+
+			rep := c.Replicas[3]
+			if rep.StateTransfers() == 0 {
+				t.Fatal("restarted replica completed no state transfer")
+			}
+			if rep.Executed() != c.Replicas[0].Executed() {
+				t.Fatalf("restarted replica executed %d, group executed %d",
+					rep.Executed(), c.Replicas[0].Executed())
+			}
+			d0 := c.Apps[0].Snapshot()
+			for i := 1; i < 4; i++ {
+				if c.Apps[i].Snapshot() != d0 {
+					t.Fatalf("replica %d state diverged after transfer", i)
+				}
+			}
+			// The transferred store contents are readable.
+			if v, ok := c.Apps[3].(*kvstore.Store).Get("down000"); !ok || v != "v" {
+				t.Fatal("transferred state missing pre-crash key")
+			}
+		})
+	}
+}
+
+// TestStateTransferLaggingReplica verifies in-protocol lag detection
+// against a moving head: a restarted replica whose first transfer lands
+// behind ongoing traffic must keep catching up via the live checkpoint
+// certificates recordCheckpoint assembles, without further restarts.
+func TestStateTransferLaggingReplica(t *testing.T) {
+	c := newTestCluster(t, transport.KindTCP, transferConfig())
+	cl, err := c.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop replica 3 outright, run the group ahead, then restart: the
+	// fresh instance receives live checkpoint certificates and must
+	// catch up without any further crash.
+	c.Crash(3)
+	invokeN(t, c, cl, "a", 24)
+	if err := c.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	invokeN(t, c, cl, "b", 24)
+	c.RunFor(200 * sim.Millisecond)
+	if c.Replicas[3].StateTransfers() == 0 {
+		t.Fatal("lagging replica never fetched state")
+	}
+	if got, want := c.Replicas[3].Executed(), c.Replicas[0].Executed(); got != want {
+		t.Fatalf("lagging replica executed %d, group %d", got, want)
+	}
+}
+
+// TestRestartBeforeFirstCheckpointDrains restarts a replica before the
+// group has any stable checkpoint: the state-transfer probe goes
+// unanswered and must NOT re-arm retries forever — the loop has to
+// drain — and the replica must still recover via live certificates once
+// checkpoints exist.
+func TestRestartBeforeFirstCheckpointDrains(t *testing.T) {
+	c := newTestCluster(t, transport.KindTCP, transferConfig())
+	cl, err := c.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(3)
+	if err := c.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	c.Loop.Run() // must terminate: no checkpoint exists, no retry loop
+	if c.Replicas[3].StateTransfers() != 0 {
+		t.Fatalf("nothing to transfer yet, got %d transfers", c.Replicas[3].StateTransfers())
+	}
+	invokeN(t, c, cl, "late", 24) // now checkpoints form; certificates drive catch-up
+	c.RunFor(200 * sim.Millisecond)
+	if got, want := c.Replicas[3].Executed(), c.Replicas[0].Executed(); got != want {
+		t.Fatalf("replica 3 executed %d, group %d", got, want)
+	}
+}
+
+// TestCascadingViewChanges exercises the startViewChange(newView+1)
+// escalation path: when the leaders of consecutive views fail, replicas
+// must keep escalating until a live leader installs a view. Table-driven
+// over the two failure variants.
+func TestCascadingViewChanges(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, f     int
+		setup    func(c *Cluster)
+		minView  uint64
+		liveFrom int // replicas [liveFrom, n) participate at the end
+	}{
+		{
+			// Leaders of views 0 and 1 both crash before any request:
+			// N=7/F=2 keeps a 2F+1 quorum among the survivors, which
+			// must cascade to view 2.
+			name: "two-crashed-leaders-n7", n: 7, f: 2,
+			setup:    func(c *Cluster) { c.Crash(0); c.Crash(1) },
+			minView:  2,
+			liveFrom: 2,
+		},
+		{
+			// The view-0 leader crashes and the view-1 leader mutes its
+			// NEW-VIEW: replicas waiting for the installation must time
+			// out and escalate to view 2.
+			name: "muted-new-view-n4", n: 4, f: 1,
+			setup: func(c *Cluster) {
+				c.Crash(0)
+				c.Replicas[1].SetFaults(Faults{Mute: map[MsgType]bool{MsgNewView: true}})
+			},
+			minView:  2,
+			liveFrom: 1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := transferConfig()
+			cfg.N, cfg.F = tc.n, tc.f
+			c := newTestCluster(t, transport.KindTCP, cfg)
+			cl, err := c.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.setup(c)
+			done := 0
+			c.Loop.Post(func() {
+				cl.Invoke(kvstore.EncodeOp(kvstore.OpPut, "cascade", "1"), func([]byte) { done++ })
+			})
+			c.Loop.Run()
+			if done != 1 {
+				t.Fatalf("request never committed across cascading view changes")
+			}
+			for i := tc.liveFrom; i < tc.n; i++ {
+				if v := c.Replicas[i].View(); v < tc.minView {
+					t.Errorf("replica %d in view %d, want >= %d", i, v, tc.minView)
+				}
+				if v, ok := c.Apps[i].(*kvstore.Store).Get("cascade"); !ok || v != "1" {
+					t.Errorf("replica %d missing committed state", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointGCAtWindowBoundary runs with the tightest legal window
+// (LogWindow == CheckpointEvery): the leader hits the high watermark
+// every interval and may only proceed once the checkpoint advances the
+// stable point, exercising the stall-and-resume path and log GC.
+func TestCheckpointGCAtWindowBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = 1
+	cfg.CheckpointEvery = 8
+	cfg.LogWindow = 8 // == CheckpointEvery: proposals stall at each boundary
+	c := newTestCluster(t, transport.KindTCP, cfg)
+	cl, err := c.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40 // five full windows
+	invokeN(t, c, cl, "w", n)
+	for i, rep := range c.Replicas {
+		if rep.Executed() != n {
+			t.Fatalf("replica %d executed %d, want %d", i, rep.Executed(), n)
+		}
+		if rep.Stable() < uint64(n)-cfg.CheckpointEvery {
+			t.Fatalf("replica %d stable %d, want >= %d", i, rep.Stable(), uint64(n)-cfg.CheckpointEvery)
+		}
+		if rep.LogSize() > int(cfg.CheckpointEvery) {
+			t.Fatalf("replica %d log holds %d slots, want <= %d", i, rep.LogSize(), cfg.CheckpointEvery)
+		}
+	}
+}
