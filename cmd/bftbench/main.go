@@ -26,13 +26,14 @@ func main() {
 
 	fmt.Println("E5 — BFT agreement over RUBIN vs Java NIO (4 replicas, f=1, PBFT)")
 	fmt.Println()
-	latency, throughput, err := bench.BFTTables(kbs, model.Default())
+	latency, throughput, sendFaults, err := bench.BFTTables(kbs, model.Default())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bftbench:", err)
 		os.Exit(1)
 	}
 	fmt.Println(latency.Render())
 	fmt.Println(throughput.Render())
+	fmt.Printf("send faults surfaced across all runs: %d\n", sendFaults)
 }
 
 func parseKBs(s string) ([]int, error) {

@@ -95,6 +95,8 @@ func main() {
 	fmt.Printf("\nfault timeline:\n%s", sched.TraceString())
 	fmt.Printf("total committed: %d/9\n", done)
 	fmt.Printf("replica 0 rejoined via %d state transfer(s)\n", cluster.Replicas[0].StateTransfers())
+	fmt.Printf("delivery failures surfaced: %d (peak msgnet send queue: %d bytes)\n",
+		cluster.SendFaults(), cluster.PeakQueueBytes())
 	fmt.Println("state digests of all replicas (must match):")
 	d0 := cluster.Apps[0].Snapshot()
 	diverged := false

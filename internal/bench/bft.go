@@ -41,6 +41,7 @@ type BFTResult struct {
 	MeanLat    sim.Time // client-observed request latency
 	P99Lat     sim.Time
 	Throughput float64 // requests per second
+	SendFaults uint64  // delivery failures surfaced by msgnet across replicas
 }
 
 // RunBFT measures agreement latency and throughput of the full replicated
@@ -104,12 +105,15 @@ func RunBFT(cfg BFTConfig, params model.Params) (BFTResult, error) {
 		MeanLat:    rec.Mean(),
 		P99Lat:     rec.Percentile(99),
 		Throughput: metrics.Throughput(rec.Count(), endAt-startAt),
+		SendFaults: cluster.SendFaults(),
 	}, nil
 }
 
 // BFTTables sweeps both transports over the payload list and returns the
-// agreement latency (µs) and throughput (req/s) tables of experiment E5.
-func BFTTables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
+// agreement latency (µs) and throughput (req/s) tables of experiment E5,
+// plus the total delivery failures surfaced by msgnet across all runs —
+// nonzero faults in a fault-free sweep indicate a transport regression.
+func BFTTables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, sendFaults uint64, err error) {
 	latency = metrics.NewTable("E5: BFT agreement latency (4 replicas, f=1)", "payload_kb", "latency µs")
 	throughput = metrics.NewTable("E5: BFT throughput (4 replicas, f=1)", "payload_kb", "req/s")
 	names := map[transport.Kind]string{transport.KindRDMA: "Reptor+RUBIN", transport.KindTCP: "Reptor+NIO"}
@@ -119,11 +123,12 @@ func BFTTables(payloadsKB []int, params model.Params) (latency, throughput *metr
 		for _, kb := range payloadsKB {
 			res, err := RunBFT(DefaultBFTConfig(kind, kb<<10), params)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			ls.Add(float64(kb), res.MeanLat.Micros())
 			ts.Add(float64(kb), res.Throughput)
+			sendFaults += res.SendFaults
 		}
 	}
-	return latency, throughput, nil
+	return latency, throughput, sendFaults, nil
 }

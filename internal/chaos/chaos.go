@@ -191,5 +191,15 @@ func (sched *Schedule) TraceString() string {
 	return b.String()
 }
 
-// Err returns all action errors joined, or nil.
-func (sched *Schedule) Err() error { return errors.Join(sched.errs...) }
+// Err returns all action errors joined with the cluster's re-attach
+// failures (Restart re-dials that could not complete), or nil. Folding in
+// Cluster.AttachErr makes asynchronous recovery failures — a restarted
+// replica that never got its connections back — visible to scenarios.
+func (sched *Schedule) Err() error {
+	errs := make([]error, len(sched.errs))
+	copy(errs, sched.errs)
+	if err := sched.cluster.AttachErr(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

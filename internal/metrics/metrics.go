@@ -109,6 +109,25 @@ func (r *Recorder) sort() {
 	}
 }
 
+// Counter is a monotonically increasing event counter — the fault/error
+// instrumentation the replicas expose (e.g. surfaced transport send
+// failures) and the experiment tables report.
+type Counter struct {
+	n uint64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
 // Throughput converts an operation count over a virtual duration into
 // operations per second.
 func Throughput(ops int, elapsed sim.Time) float64 {

@@ -1,0 +1,81 @@
+package msgnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rubin/internal/auth"
+)
+
+// Frame kinds on the wire. Every msgnet frame travels as one transport
+// message; the first byte discriminates.
+const (
+	frameWhole byte = 1 // a complete message in one frame
+	frameChunk byte = 2 // one fragment of a chunked message
+)
+
+// Header sizes. A whole frame is [kind u8][class u8][payload]; a chunk
+// frame is [kind u8][class u8][stream u64][index u32][count u32]
+// [digest 32][prev 32][payload] — the digest pair forms the chain that
+// lets a receiver detect corrupted or mis-sequenced fragments.
+const (
+	wholeHeaderLen = 2
+	chunkHeaderLen = 2 + 8 + 4 + 4 + 2*auth.DigestSize
+)
+
+// frame is one decoded msgnet wire frame.
+type frame struct {
+	kind    byte
+	class   Class
+	stream  uint64
+	index   uint32
+	count   uint32
+	digest  auth.Digest // digest of this chunk's payload
+	prev    auth.Digest // digest of the preceding chunk's payload (zero for index 0)
+	payload []byte
+}
+
+func encodeWhole(class Class, msg []byte) []byte {
+	out := make([]byte, wholeHeaderLen+len(msg))
+	out[0] = frameWhole
+	out[1] = byte(class)
+	copy(out[wholeHeaderLen:], msg)
+	return out
+}
+
+func encodeChunk(class Class, stream uint64, index, count uint32, digest, prev auth.Digest, payload []byte) []byte {
+	out := make([]byte, 0, chunkHeaderLen+len(payload))
+	out = append(out, frameChunk, byte(class))
+	out = binary.BigEndian.AppendUint64(out, stream)
+	out = binary.BigEndian.AppendUint32(out, index)
+	out = binary.BigEndian.AppendUint32(out, count)
+	out = append(out, digest[:]...)
+	out = append(out, prev[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+func decodeFrame(raw []byte) (frame, error) {
+	if len(raw) < wholeHeaderLen {
+		return frame{}, fmt.Errorf("msgnet: frame truncated (%d bytes)", len(raw))
+	}
+	f := frame{kind: raw[0], class: Class(raw[1])}
+	switch f.kind {
+	case frameWhole:
+		f.payload = raw[wholeHeaderLen:]
+		return f, nil
+	case frameChunk:
+		if len(raw) < chunkHeaderLen {
+			return frame{}, fmt.Errorf("msgnet: chunk frame truncated (%d bytes)", len(raw))
+		}
+		f.stream = binary.BigEndian.Uint64(raw[2:])
+		f.index = binary.BigEndian.Uint32(raw[10:])
+		f.count = binary.BigEndian.Uint32(raw[14:])
+		copy(f.digest[:], raw[18:])
+		copy(f.prev[:], raw[18+auth.DigestSize:])
+		f.payload = raw[chunkHeaderLen:]
+		return f, nil
+	default:
+		return frame{}, fmt.Errorf("msgnet: unknown frame kind %d", f.kind)
+	}
+}

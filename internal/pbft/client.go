@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"sort"
 
-	"rubin/internal/transport"
+	"rubin/internal/msgnet"
 )
 
 // Client invokes operations against a replica group and accepts a result
@@ -13,13 +13,14 @@ import (
 type Client struct {
 	id    uint32
 	f     int
-	conns map[uint32]transport.Conn
+	conns map[uint32]*msgnet.Peer
 	next  uint64
 
 	pending map[uint64]*invocation
 
 	// Stats.
 	invoked, completed uint64
+	sendErrs           uint64
 }
 
 type invocation struct {
@@ -32,7 +33,7 @@ type invocation struct {
 // NewClient creates a client. Attach replica connections with
 // AttachReplica before invoking.
 func NewClient(id uint32, f int) *Client {
-	return &Client{id: id, f: f, conns: make(map[uint32]transport.Conn), pending: make(map[uint64]*invocation)}
+	return &Client{id: id, f: f, conns: make(map[uint32]*msgnet.Peer), pending: make(map[uint64]*invocation)}
 }
 
 // ID returns the client identifier.
@@ -41,10 +42,17 @@ func (c *Client) ID() uint32 { return c.id }
 // Completed returns the number of finished invocations.
 func (c *Client) Completed() uint64 { return c.completed }
 
-// AttachReplica wires the connection to one replica and consumes replies.
-func (c *Client) AttachReplica(id uint32, conn transport.Conn) {
-	c.conns[id] = conn
-	conn.OnMessage(func(raw []byte) {
+// SendErrors returns the surfaced request-send failures. A client
+// tolerates up to F failed sends per invocation (the quorum absorbs
+// them), but the failures are still counted, never discarded.
+func (c *Client) SendErrors() uint64 { return c.sendErrs }
+
+// AttachReplica wires the msgnet peer to one replica and consumes
+// replies.
+func (c *Client) AttachReplica(id uint32, p *msgnet.Peer) {
+	c.conns[id] = p
+	p.OnSendError(func(error) { c.sendErrs++ })
+	p.OnMessage(func(_ msgnet.Class, raw []byte) {
 		msg, err := Decode(raw)
 		if err != nil {
 			return
@@ -75,7 +83,9 @@ func (c *Client) Invoke(op []byte, done func(result []byte)) {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		_ = c.conns[uint32(id)].Send(raw)
+		if err := c.conns[uint32(id)].Send(msgnet.ClassControl, raw); err != nil {
+			c.sendErrs++
+		}
 	}
 }
 

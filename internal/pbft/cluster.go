@@ -1,11 +1,13 @@
 package pbft
 
 import (
+	"errors"
 	"fmt"
 
 	"rubin/internal/auth"
 	"rubin/internal/fabric"
 	"rubin/internal/model"
+	"rubin/internal/msgnet"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
 )
@@ -21,27 +23,35 @@ const (
 // benchmarks and examples. Beyond wiring, it exposes the fault
 // orchestration surface the chaos subsystem drives: Crash, Restart,
 // Partition, Heal and DegradeLink.
+//
+// All messaging goes through per-node msgnet meshes; the meshes own the
+// peer handles, which survive replica crashes and are re-attached (or
+// re-dialed, with failures recorded — see AttachErr) on Restart.
 type Cluster struct {
 	Loop     *sim.Loop
 	Network  *fabric.Network
 	Config   Config
 	Kind     transport.Kind
 	Replicas []*Replica
-	Stacks   []transport.Stack
+	Meshes   []*msgnet.Mesh
 	Apps     []Application
 
 	nodes      []*fabric.Node
 	appFactory func(i int) Application
 	keyrings   []*auth.Keyring
 
-	// Connection bookkeeping so a restarted replica can be re-attached
-	// to the surviving transport connections.
-	peerConns     [][]transport.Conn // peerConns[i][j]: outbound i -> j
-	inboundPeer   [][]transport.Conn // peer-initiated conns accepted by i
-	inboundClient [][]transport.Conn // client conns accepted by i
+	// Peer bookkeeping so a restarted replica can be re-attached to the
+	// surviving msgnet peers (and dead ones re-dialed).
+	peerLinks     [][]*msgnet.Peer // peerLinks[i][j]: outbound i -> j
+	inboundPeer   [][]*msgnet.Peer // peer-initiated conns accepted by i
+	inboundClient [][]*msgnet.Peer // client conns accepted by i
+
+	// attachErrs collects re-attach/re-dial failures from Restart; they
+	// surface through AttachErr (and chaos.Schedule.Err).
+	attachErrs []error
 
 	clientNodes  []*fabric.Node
-	clientStacks []transport.Stack
+	clientMeshes []*msgnet.Mesh
 	Clients      []*Client
 
 	// OnRestart, if set, is invoked after Restart wires up a fresh
@@ -49,10 +59,10 @@ type Cluster struct {
 	OnRestart func(i int, rep *Replica)
 }
 
-// NewCluster builds N replica nodes (full mesh), opens transport stacks of
-// the given kind, creates replicas running app instances from the factory,
-// and interconnects all replica pairs. Call Start to complete connection
-// setup, then AddClient.
+// NewCluster builds N replica nodes (full mesh), opens msgnet meshes of
+// the given transport kind, creates replicas running app instances from
+// the factory, and interconnects all replica pairs. Call Start to
+// complete connection setup, then AddClient.
 func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64, appFactory func(i int) Application) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -62,16 +72,16 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 	c := &Cluster{
 		Loop: loop, Network: nw, Config: cfg, Kind: kind,
 		appFactory:    appFactory,
-		peerConns:     make([][]transport.Conn, cfg.N),
-		inboundPeer:   make([][]transport.Conn, cfg.N),
-		inboundClient: make([][]transport.Conn, cfg.N),
+		peerLinks:     make([][]*msgnet.Peer, cfg.N),
+		inboundPeer:   make([][]*msgnet.Peer, cfg.N),
+		inboundClient: make([][]*msgnet.Peer, cfg.N),
 	}
 
-	opts := transport.DefaultOptions()
+	opts := msgnet.DefaultOptions()
 	c.keyrings = auth.GenerateKeyrings(cfg.N, uint64(seed)+1)
 	for i := 0; i < cfg.N; i++ {
 		node := nw.AddNode(fmt.Sprintf("r%d", i))
-		st, err := transport.NewStack(kind, node, opts)
+		mesh, err := msgnet.NewMesh(kind, node, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -81,10 +91,10 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 			return nil, err
 		}
 		c.nodes = append(c.nodes, node)
-		c.Stacks = append(c.Stacks, st)
+		c.Meshes = append(c.Meshes, mesh)
 		c.Replicas = append(c.Replicas, rep)
 		c.Apps = append(c.Apps, app)
-		c.peerConns[i] = make([]transport.Conn, cfg.N)
+		c.peerLinks[i] = make([]*msgnet.Peer, cfg.N)
 	}
 	// Full mesh links.
 	for i := 0; i < cfg.N; i++ {
@@ -99,36 +109,36 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 // running the loop until setup completes.
 func (c *Cluster) Start() error {
 	var setupErr error
-	for i, st := range c.Stacks {
+	for i, mesh := range c.Meshes {
 		i := i
-		if err := st.Listen(PeerPort, func(conn transport.Conn) {
-			c.inboundPeer[i] = append(c.inboundPeer[i], conn)
-			c.Replicas[i].AttachInbound(conn)
+		if err := mesh.Listen(PeerPort, func(p *msgnet.Peer) {
+			c.inboundPeer[i] = append(c.inboundPeer[i], p)
+			c.Replicas[i].AttachInbound(p)
 		}); err != nil {
 			return err
 		}
-		if err := st.Listen(ClientPort, func(conn transport.Conn) {
-			c.inboundClient[i] = append(c.inboundClient[i], conn)
-			c.Replicas[i].HandleClientConn(conn)
+		if err := mesh.Listen(ClientPort, func(p *msgnet.Peer) {
+			c.inboundClient[i] = append(c.inboundClient[i], p)
+			c.Replicas[i].HandleClientConn(p)
 		}); err != nil {
 			return err
 		}
 	}
 	dials := 0
-	for i := range c.Stacks {
-		for j := range c.Stacks {
+	for i := range c.Meshes {
+		for j := range c.Meshes {
 			if i == j {
 				continue
 			}
 			i, j := i, j
 			c.Loop.Post(func() {
-				c.Stacks[i].Dial(c.nodes[j], PeerPort, func(conn transport.Conn, err error) {
+				c.Meshes[i].Dial(c.nodes[j], PeerPort, func(p *msgnet.Peer, err error) {
 					if err != nil {
 						setupErr = fmt.Errorf("dial r%d->r%d: %w", i, j, err)
 						return
 					}
-					c.peerConns[i][j] = conn
-					c.Replicas[i].AttachPeer(uint32(j), conn)
+					c.peerLinks[i][j] = p
+					c.Replicas[i].AttachPeer(uint32(j), p)
 					dials++
 				})
 			})
@@ -153,7 +163,7 @@ func (c *Cluster) AddClient() (*Client, error) {
 	for i := 0; i < c.Config.N; i++ {
 		c.Network.Connect(node, c.nodes[i])
 	}
-	st, err := transport.NewStack(c.Kind, node, transport.DefaultOptions())
+	mesh, err := msgnet.NewMesh(c.Kind, node, msgnet.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +173,12 @@ func (c *Cluster) AddClient() (*Client, error) {
 	for i := 0; i < c.Config.N; i++ {
 		i := i
 		c.Loop.Post(func() {
-			st.Dial(c.nodes[i], ClientPort, func(conn transport.Conn, err error) {
+			mesh.Dial(c.nodes[i], ClientPort, func(p *msgnet.Peer, err error) {
 				if err != nil {
 					dialErr = err
 					return
 				}
-				cl.AttachReplica(uint32(i), conn)
+				cl.AttachReplica(uint32(i), p)
 				dials++
 			})
 		})
@@ -181,13 +191,35 @@ func (c *Cluster) AddClient() (*Client, error) {
 		return nil, fmt.Errorf("pbft: client connected to %d of %d replicas", dials, c.Config.N)
 	}
 	c.clientNodes = append(c.clientNodes, node)
-	c.clientStacks = append(c.clientStacks, st)
+	c.clientMeshes = append(c.clientMeshes, mesh)
 	c.Clients = append(c.Clients, cl)
 	return cl, nil
 }
 
 // RunFor advances the simulation by d.
 func (c *Cluster) RunFor(d sim.Time) { c.Loop.RunUntil(c.Loop.Now() + d) }
+
+// SendFaults sums the surfaced delivery failures across the current
+// replica instances (a restarted replica starts a fresh counter).
+func (c *Cluster) SendFaults() uint64 {
+	var n uint64
+	for _, rep := range c.Replicas {
+		n += rep.SendFaults()
+	}
+	return n
+}
+
+// PeakQueueBytes returns the deepest msgnet send queue observed on any
+// replica mesh — the queue-depth metric experiment E7 reports.
+func (c *Cluster) PeakQueueBytes() int {
+	peak := 0
+	for _, mesh := range c.Meshes {
+		if d := mesh.PeakQueueBytes(); d > peak {
+			peak = d
+		}
+	}
+	return peak
+}
 
 // ---------------------------------------------------------------------------
 // Fault orchestration (driven by internal/chaos)
@@ -199,9 +231,11 @@ func (c *Cluster) RunFor(d sim.Time) { c.Loop.RunUntil(c.Loop.Now() + d) }
 func (c *Cluster) Crash(i int) { c.Replicas[i].Stop() }
 
 // Restart replaces a crashed replica with a fresh instance — empty log,
-// empty application state, view 0 — attached to the surviving transport
-// connections, then starts state transfer so it fetches the group's
-// latest stable checkpoint and rejoins.
+// empty application state, view 0 — attached to the surviving msgnet
+// peers, then starts state transfer so it fetches the group's latest
+// stable checkpoint and rejoins. Outbound peers whose connection died
+// while the replica was down are re-dialed through the mesh; re-dial
+// failures are recorded and surface through AttachErr.
 func (c *Cluster) Restart(i int) error {
 	// Silence the old instance even if Crash was never called: two live
 	// replicas sharing identity and keyring would equivocate.
@@ -213,16 +247,36 @@ func (c *Cluster) Restart(i int) error {
 	}
 	c.Replicas[i] = rep
 	c.Apps[i] = app
-	for j, conn := range c.peerConns[i] {
-		if conn != nil {
-			rep.AttachPeer(uint32(j), conn)
+	for j, p := range c.peerLinks[i] {
+		if j == i {
+			continue
+		}
+		if p != nil && !p.Closed() {
+			rep.AttachPeer(uint32(j), p)
+			continue
+		}
+		// The outbound link died while the replica was down: re-dial it.
+		// The dial completes on the loop; failures are recorded for
+		// AttachErr so chaos scenarios see them.
+		i, j := i, j
+		c.Meshes[i].Dial(c.nodes[j], PeerPort, func(p *msgnet.Peer, err error) {
+			if err != nil {
+				c.attachErrs = append(c.attachErrs, fmt.Errorf("pbft: restart r%d: re-dial r%d: %w", i, j, err))
+				return
+			}
+			c.peerLinks[i][j] = p
+			c.Replicas[i].AttachPeer(uint32(j), p)
+		})
+	}
+	for _, p := range c.inboundPeer[i] {
+		if !p.Closed() {
+			rep.AttachInbound(p)
 		}
 	}
-	for _, conn := range c.inboundPeer[i] {
-		rep.AttachInbound(conn)
-	}
-	for _, conn := range c.inboundClient[i] {
-		rep.HandleClientConn(conn)
+	for _, p := range c.inboundClient[i] {
+		if !p.Closed() {
+			rep.HandleClientConn(p)
+		}
 	}
 	if c.OnRestart != nil {
 		c.OnRestart(i, rep)
@@ -230,6 +284,11 @@ func (c *Cluster) Restart(i int) error {
 	rep.RequestStateTransfer()
 	return nil
 }
+
+// AttachErr returns every re-attach failure recorded by Restart so far,
+// joined — nil when all re-attaches succeeded. chaos.Schedule.Err folds
+// this in, making failed recoveries visible to scenarios.
+func (c *Cluster) AttachErr() error { return errors.Join(c.attachErrs...) }
 
 // ReplicaLink returns the fabric link between replicas i and j.
 func (c *Cluster) ReplicaLink(i, j int) *fabric.Link {

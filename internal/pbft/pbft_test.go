@@ -6,6 +6,7 @@ import (
 
 	"rubin/internal/kvstore"
 	"rubin/internal/model"
+	"rubin/internal/msgnet"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
 )
@@ -191,7 +192,9 @@ func TestExactlyOnceReplayedRequest(t *testing.T) {
 		req := Request{Client: cl.ID(), Timestamp: 1, Op: kvstore.EncodeOp(kvstore.OpPut, "once", "1")}
 		raw := Encode(req)
 		for _, conn := range cl.conns {
-			_ = conn.Send(raw)
+			if err := conn.Send(msgnet.ClassControl, raw); err != nil {
+				t.Errorf("replay send: %v", err)
+			}
 		}
 	})
 	c.Loop.Run()

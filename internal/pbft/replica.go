@@ -6,8 +6,9 @@ import (
 
 	"rubin/internal/auth"
 	"rubin/internal/fabric"
+	"rubin/internal/metrics"
+	"rubin/internal/msgnet"
 	"rubin/internal/sim"
-	"rubin/internal/transport"
 )
 
 // Application is the replicated service executed by the agreement layer.
@@ -25,10 +26,10 @@ type Application interface {
 // fully replace the current state, and a restored state must produce the
 // same Snapshot digest as the original.
 //
-// The marshaled state travels in a single StateResponse message, so it
-// must fit the transport's maximum message size (transport.Options
-// MaxMessage, 256 KB by default) or responses are dropped and recovery
-// stalls; chunked transfer for larger states is future work.
+// The marshaled state travels in one StateResponse on msgnet's bulk
+// class: snapshots larger than the transport's frame limit are chunked
+// and reassembled transparently, so state size is bounded only by
+// msgnet.Options.MaxTransfer.
 type StateTransferable interface {
 	MarshalState() []byte
 	UnmarshalState(state []byte) error
@@ -124,10 +125,10 @@ type Replica struct {
 	app     Application
 	faults  Faults
 
-	// peers[i] is the connection used to send to replica i.
-	peers map[uint32]transport.Conn
+	// peers[i] is the msgnet handle used to send to replica i.
+	peers map[uint32]*msgnet.Peer
 	// clientConns[c] is where replies to client c go.
-	clientConns map[uint32]transport.Conn
+	clientConns map[uint32]*msgnet.Peer
 
 	view     uint64
 	seqNext  uint64 // next sequence the leader assigns
@@ -175,6 +176,10 @@ type Replica struct {
 	execBatches    uint64
 	onExecute      func(seq uint64, batch []Request)
 	onViewChange   func(newView uint64)
+
+	// sendFaults counts every surfaced delivery failure on this
+	// replica's outbound traffic — nothing is silently discarded.
+	sendFaults *metrics.Counter
 }
 
 // NewReplica builds a replica. Connections are attached afterwards with
@@ -190,8 +195,8 @@ func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring,
 		keyring:      keyring,
 		app:          app,
 		view:         cfg.InitialView,
-		peers:        make(map[uint32]transport.Conn),
-		clientConns:  make(map[uint32]transport.Conn),
+		peers:        make(map[uint32]*msgnet.Peer),
+		clientConns:  make(map[uint32]*msgnet.Peer),
 		log:          make(map[uint64]*slot),
 		checkpoints:  make(map[uint64]map[uint32]auth.Digest),
 		snapshots:    make(map[uint64]auth.Digest),
@@ -202,6 +207,7 @@ func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring,
 		reqTimers:    make(map[string]*sim.Timer),
 		vcVotes:      make(map[uint64]map[uint32]ViewChange),
 		requestStore: make(map[string]Request),
+		sendFaults:   metrics.NewCounter(),
 	}, nil
 }
 
@@ -257,22 +263,25 @@ func (r *Replica) Leader(view uint64) uint32 { return uint32(view % uint64(r.cfg
 // IsLeader reports whether this replica leads the current view.
 func (r *Replica) IsLeader() bool { return r.Leader(r.view) == r.id }
 
-// AttachPeer wires the outbound connection to a peer replica and starts
-// consuming inbound messages from it.
-func (r *Replica) AttachPeer(id uint32, conn transport.Conn) {
-	r.peers[id] = conn
-	conn.OnMessage(func(raw []byte) { r.handleEnvelope(raw) })
+// AttachPeer wires the outbound msgnet peer to a replica and starts
+// consuming inbound messages from it. Asynchronous delivery failures
+// (connection death with messages queued) feed the fault counter.
+func (r *Replica) AttachPeer(id uint32, p *msgnet.Peer) {
+	r.peers[id] = p
+	p.OnMessage(func(_ msgnet.Class, raw []byte) { r.handleEnvelope(raw) })
+	p.OnSendError(func(error) { r.sendFaults.Inc() })
 }
 
 // AttachInbound consumes messages from a peer-initiated connection
 // (sender identity travels in the authenticated envelope).
-func (r *Replica) AttachInbound(conn transport.Conn) {
-	conn.OnMessage(func(raw []byte) { r.handleEnvelope(raw) })
+func (r *Replica) AttachInbound(p *msgnet.Peer) {
+	p.OnMessage(func(_ msgnet.Class, raw []byte) { r.handleEnvelope(raw) })
 }
 
 // HandleClientConn consumes client requests from a client connection.
-func (r *Replica) HandleClientConn(conn transport.Conn) {
-	conn.OnMessage(func(raw []byte) {
+func (r *Replica) HandleClientConn(p *msgnet.Peer) {
+	p.OnSendError(func(error) { r.sendFaults.Inc() })
+	p.OnMessage(func(_ msgnet.Class, raw []byte) {
 		msg, err := Decode(raw)
 		if err != nil {
 			return
@@ -281,7 +290,7 @@ func (r *Replica) HandleClientConn(conn transport.Conn) {
 		if !ok {
 			return
 		}
-		r.clientConns[req.Client] = conn
+		r.clientConns[req.Client] = p
 		r.handleRequest(req)
 	})
 }
@@ -321,12 +330,33 @@ func (r *Replica) broadcast(m Message) {
 		return
 	}
 	env := EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a})
+	cls := classFor(m.msgType())
 	r.deferSend(func() {
-		for _, id := range r.peerIDs() {
-			_ = r.peers[id].Send(env)
+		ids := r.peerIDs()
+		// Peers with no live handle (e.g. mid-re-dial after a Restart)
+		// are delivery failures too — counted, never silently skipped.
+		r.sendFaults.Add(uint64(r.cfg.N - 1 - len(ids)))
+		for _, id := range ids {
+			if err := r.peers[id].Send(cls, env); err != nil {
+				r.sendFaults.Inc()
+			}
 		}
 	})
 }
+
+// classFor routes protocol messages onto msgnet traffic classes: bulk
+// state snapshots ride ClassBulk so a large transfer cannot
+// head-of-line-block the latency-critical agreement messages.
+func classFor(t MsgType) msgnet.Class {
+	if t == MsgStateResponse {
+		return msgnet.ClassBulk
+	}
+	return msgnet.ClassControl
+}
+
+// SendFaults returns the surfaced delivery failures of this replica
+// instance (reported by experiments E5/E7).
+func (r *Replica) SendFaults() uint64 { return r.sendFaults.Value() }
 
 // peerIDs returns connected peers in ascending order so send order (and
 // therefore the simulation) is deterministic.
@@ -349,10 +379,12 @@ func (r *Replica) equivocate(pp PrePrepare, a auth.Authenticator) {
 	badPayload := Encode(bad)
 	badEnv := EncodeEnvelope(Envelope{Sender: r.id, Payload: badPayload, Auth: r.keyring.Authenticate(badPayload)})
 	for _, id := range r.peerIDs() {
-		if id%2 == 0 {
-			_ = r.peers[id].Send(goodEnv)
-		} else {
-			_ = r.peers[id].Send(badEnv)
+		env := goodEnv
+		if id%2 != 0 {
+			env = badEnv
+		}
+		if err := r.peers[id].Send(msgnet.ClassControl, env); err != nil {
+			r.sendFaults.Inc()
 		}
 	}
 }
@@ -362,8 +394,9 @@ func (r *Replica) send(to uint32, m Message) {
 	if r.stopped || r.faults.Crashed || (r.faults.Mute != nil && r.faults.Mute[m.msgType()]) {
 		return
 	}
-	conn := r.peers[to]
-	if conn == nil {
+	peer := r.peers[to]
+	if peer == nil {
+		r.sendFaults.Inc() // no live handle: a delivery failure, not a silent skip
 		return
 	}
 	payload := Encode(m)
@@ -374,7 +407,12 @@ func (r *Replica) send(to uint32, m Message) {
 		corruptAuth(a)
 	}
 	env := EncodeEnvelope(Envelope{Sender: r.id, Payload: payload, Auth: a})
-	r.deferSend(func() { _ = conn.Send(env) })
+	cls := classFor(m.msgType())
+	r.deferSend(func() {
+		if err := peer.Send(cls, env); err != nil {
+			r.sendFaults.Inc()
+		}
+	})
 }
 
 func corruptAuth(a auth.Authenticator) {
@@ -727,14 +765,18 @@ func (r *Replica) reply(client uint32, rep Reply) {
 	if r.stopped || r.faults.Crashed {
 		return
 	}
-	conn := r.clientConns[client]
-	if conn == nil {
+	peer := r.clientConns[client]
+	if peer == nil {
 		return
 	}
 	payload := Encode(rep)
 	p := r.node.Network().Params().Crypto
 	r.crypto(auth.Cost(p, len(payload)))
-	r.deferSend(func() { _ = conn.Send(payload) })
+	r.deferSend(func() {
+		if err := peer.Send(msgnet.ClassControl, payload); err != nil {
+			r.sendFaults.Inc()
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -3,8 +3,8 @@ package reptor
 import (
 	"fmt"
 
+	"rubin/internal/msgnet"
 	"rubin/internal/pbft"
-	"rubin/internal/transport"
 )
 
 // Client routes operations to the responsible COP instance and collects
@@ -24,7 +24,7 @@ func (g *Group) AddClient() (*Client, error) {
 	for i := 0; i < n; i++ {
 		g.Network.Connect(node, g.Network.Node(fmt.Sprintf("r%d", i)))
 	}
-	st, err := transport.NewStack(g.Kind, node, transport.DefaultOptions())
+	mesh, err := msgnet.NewMesh(g.Kind, node, msgnet.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -38,12 +38,12 @@ func (g *Group) AddClient() (*Client, error) {
 			want++
 			k, i := k, i
 			g.Loop.Post(func() {
-				st.Dial(g.Network.Node(fmt.Sprintf("r%d", i)), clientPortFor(k), func(conn transport.Conn, err error) {
+				mesh.Dial(g.Network.Node(fmt.Sprintf("r%d", i)), clientPortFor(k), func(p *msgnet.Peer, err error) {
 					if err != nil {
 						dialErr = err
 						return
 					}
-					cl.sub[k].AttachReplica(uint32(i), conn)
+					cl.sub[k].AttachReplica(uint32(i), p)
 					dials++
 				})
 			})

@@ -18,6 +18,7 @@ import (
 	"rubin/internal/auth"
 	"rubin/internal/fabric"
 	"rubin/internal/model"
+	"rubin/internal/msgnet"
 	"rubin/internal/pbft"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
@@ -57,13 +58,14 @@ func (c Config) Route(op []byte) int {
 }
 
 // Group is a running COP deployment: N nodes, K PBFT instances sharing
-// each node's transport stack, one merged executor per node.
+// each node's msgnet mesh (one transport stack per node), one merged
+// executor per node.
 type Group struct {
 	Loop      *sim.Loop
 	Network   *fabric.Network
 	Config    Config
 	Kind      transport.Kind
-	Stacks    []transport.Stack
+	Meshes    []*msgnet.Mesh
 	Instances [][]*pbft.Replica // [instance][replica]
 	Executors []*Executor       // one per node
 	Apps      []pbft.Application
@@ -90,14 +92,14 @@ func NewGroup(kind transport.Kind, cfg Config, params model.Params, seed int64, 
 	g := &Group{Loop: loop, Network: nw, Config: cfg, Kind: kind}
 
 	n := cfg.PBFT.N
-	opts := transport.DefaultOptions()
+	opts := msgnet.DefaultOptions()
 	for i := 0; i < n; i++ {
 		node := nw.AddNode(fmt.Sprintf("r%d", i))
-		st, err := transport.NewStack(kind, node, opts)
+		mesh, err := msgnet.NewMesh(kind, node, opts)
 		if err != nil {
 			return nil, err
 		}
-		g.Stacks = append(g.Stacks, st)
+		g.Meshes = append(g.Meshes, mesh)
 		g.Apps = append(g.Apps, appFactory(i))
 	}
 	for i := 0; i < n; i++ {
@@ -139,13 +141,13 @@ func (g *Group) Start() error {
 	for k, reps := range g.Instances {
 		for i := 0; i < n; i++ {
 			rep := reps[i]
-			if err := g.Stacks[i].Listen(peerPortFor(k), func(conn transport.Conn) {
-				rep.AttachInbound(conn)
+			if err := g.Meshes[i].Listen(peerPortFor(k), func(p *msgnet.Peer) {
+				rep.AttachInbound(p)
 			}); err != nil {
 				return err
 			}
-			if err := g.Stacks[i].Listen(clientPortFor(k), func(conn transport.Conn) {
-				rep.HandleClientConn(conn)
+			if err := g.Meshes[i].Listen(clientPortFor(k), func(p *msgnet.Peer) {
+				rep.HandleClientConn(p)
 			}); err != nil {
 				return err
 			}
@@ -163,12 +165,12 @@ func (g *Group) Start() error {
 				want++
 				k, i, j := k, i, j
 				g.Loop.Post(func() {
-					g.Stacks[i].Dial(g.Network.Node(fmt.Sprintf("r%d", j)), peerPortFor(k), func(conn transport.Conn, err error) {
+					g.Meshes[i].Dial(g.Network.Node(fmt.Sprintf("r%d", j)), peerPortFor(k), func(p *msgnet.Peer, err error) {
 						if err != nil {
 							setupErr = fmt.Errorf("instance %d dial r%d->r%d: %w", k, i, j, err)
 							return
 						}
-						g.Instances[k][i].AttachPeer(uint32(j), conn)
+						g.Instances[k][i].AttachPeer(uint32(j), p)
 						dials++
 					})
 				})

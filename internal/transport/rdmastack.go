@@ -112,6 +112,7 @@ type rdmaConn struct {
 	key     *rubin.SelectionKey
 	onMsg   func([]byte)
 	onClose func()
+	onDrain func()
 	closed  bool
 
 	overflow [][]byte
@@ -134,6 +135,12 @@ func (c *rdmaConn) OnMessage(fn func([]byte)) {
 }
 
 func (c *rdmaConn) OnClose(fn func()) { c.onClose = fn }
+
+func (c *rdmaConn) OnDrain(fn func()) { c.onDrain = fn }
+
+// Unsent counts messages spilled past the work-request pool. Messages the
+// channel already owns WRs for are NIC-queued, not software backlog.
+func (c *rdmaConn) Unsent() int { return len(c.overflow) }
 
 func (c *rdmaConn) Send(msg []byte) error {
 	if c.closed || c.ch.Closed() {
@@ -160,6 +167,7 @@ func (c *rdmaConn) Send(msg []byte) error {
 
 // retry drains the overflow queue once send capacity returns.
 func (c *rdmaConn) retry() {
+	drained := false
 	for len(c.overflow) > 0 {
 		err := c.ch.Send(c.overflow[0])
 		if err == rubin.ErrWouldBlock {
@@ -171,6 +179,10 @@ func (c *rdmaConn) retry() {
 			return
 		}
 		c.overflow = c.overflow[1:]
+		drained = true
+	}
+	if drained && c.onDrain != nil {
+		c.onDrain()
 	}
 }
 

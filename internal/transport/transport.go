@@ -70,6 +70,15 @@ type Conn interface {
 	OnMessage(fn func(msg []byte))
 	// OnClose installs a callback for connection teardown.
 	OnClose(fn func())
+	// Unsent reports how many messages Send has accepted but the backend
+	// has not yet handed to the wire (TCP: frames waiting for socket
+	// space; RDMA: messages spilled past the work-request pool). Layers
+	// above use it as the substrate backpressure signal.
+	Unsent() int
+	// OnDrain installs a callback fired whenever a previously backlogged
+	// connection's unsent queue empties — the writability edge that pairs
+	// with Unsent.
+	OnDrain(fn func())
 	// Peer returns the remote node.
 	Peer() *fabric.Node
 	// Close tears the connection down.
@@ -201,6 +210,7 @@ type tcpConn struct {
 	key     *nio.SelectionKey
 	onMsg   func([]byte)
 	onClose func()
+	onDrain func()
 	closed  bool
 
 	// Reassembly state.
@@ -228,6 +238,10 @@ func (c *tcpConn) OnMessage(fn func([]byte)) {
 }
 
 func (c *tcpConn) OnClose(fn func()) { c.onClose = fn }
+
+func (c *tcpConn) OnDrain(fn func()) { c.onDrain = fn }
+
+func (c *tcpConn) Unsent() int { return len(c.sendQ) }
 
 func (c *tcpConn) Send(msg []byte) error {
 	if c.closed {
@@ -258,6 +272,7 @@ func (c *tcpConn) armFlush() {
 }
 
 func (c *tcpConn) flush() {
+	wroteAny := false
 	for len(c.sendQ) > 0 && !c.closed {
 		n := len(c.sendQ)
 		if n > c.stack.opts.Batch {
@@ -289,6 +304,10 @@ func (c *tcpConn) flush() {
 			return
 		}
 		c.sendQ = c.sendQ[n:]
+		wroteAny = true
+	}
+	if wroteAny && len(c.sendQ) == 0 && !c.closed && c.onDrain != nil {
+		c.onDrain()
 	}
 }
 
