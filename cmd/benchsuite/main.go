@@ -1,0 +1,197 @@
+// Command benchsuite runs any subset of the registered experiments E1–E8
+// and writes one machine-readable BENCH_<name>.json per experiment, so the
+// repository's benchmark trajectory can be recorded and diffed PR over PR.
+//
+// Usage:
+//
+//	go run ./cmd/benchsuite -list
+//	go run ./cmd/benchsuite -experiments E5,E8 -out .
+//	go run ./cmd/benchsuite -quick -out /tmp/bench          # CI smoke
+//	go run ./cmd/benchsuite -experiments E5 -compare old/   # regression deltas
+//	go run ./cmd/benchsuite -validate /tmp/bench            # schema check only
+//
+// Every run is deterministic: the same -seed, knobs and code produce
+// byte-identical JSON. -compare loads a previous run's files (a directory
+// of BENCH_*.json or a single file) and prints point-wise deltas sorted by
+// drift. -knob name=value overrides experiment parameters (repeatable);
+// the accepted knobs of each experiment are listed in docs/EXPERIMENTS.md
+// and echoed in each file's "config" object.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rubin/internal/bench"
+	"rubin/internal/metrics"
+)
+
+// knobFlags collects repeated -knob name=value flags.
+type knobFlags map[string]string
+
+func (k knobFlags) String() string {
+	var parts []string
+	for name, v := range k {
+		parts = append(parts, name+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (k knobFlags) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("knob %q: want name=value", s)
+	}
+	k[name] = value
+	return nil
+}
+
+func main() {
+	experiments := flag.String("experiments", "all", "comma-separated experiment names (E1..E8) or 'all'")
+	out := flag.String("out", ".", "directory to write BENCH_<name>.json files into")
+	quick := flag.Bool("quick", false, "shrink sweeps and message counts (CI smoke mode)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	compare := flag.String("compare", "", "previous run to diff against: a BENCH_*.json file or a directory of them")
+	validate := flag.String("validate", "", "validate every BENCH_*.json in this directory against the schema, then exit")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	tables := flag.Bool("tables", true, "print human-readable tables alongside the JSON")
+	knobs := knobFlags{}
+	flag.Var(knobs, "knob", "experiment knob override, name=value (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.Name, e.Title, e.Figure)
+		}
+		return
+	}
+	if *validate != "" {
+		if err := validateDir(*validate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	names, err := selectExperiments(*experiments)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	rc.Quick = *quick
+	rc.Knobs = knobs
+
+	failedCompares := 0
+	for _, name := range names {
+		fmt.Printf("== %s ==\n", name)
+		res, err := bench.Run(name, rc)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := res.WriteFile(*out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d series)\n", path, len(res.Series))
+		if *tables {
+			for _, tab := range res.Tables() {
+				fmt.Println(tab.Render())
+			}
+		}
+		if *compare != "" {
+			n, err := compareAgainst(*compare, res)
+			if err != nil {
+				fatal(err)
+			}
+			failedCompares += n
+		}
+	}
+	if failedCompares > 0 {
+		fmt.Fprintf(os.Stderr, "benchsuite: %d comparison(s) could not be made\n", failedCompares)
+	}
+}
+
+// selectExperiments resolves the -experiments flag against the registry.
+func selectExperiments(s string) ([]string, error) {
+	if s == "all" {
+		var names []string
+		for _, e := range bench.Experiments() {
+			names = append(names, e.Name)
+		}
+		return names, nil
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if _, ok := bench.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// compareAgainst diffs res against the stored baseline at path (a file or
+// a directory holding BENCH_<name>.json). A missing baseline for this
+// experiment is reported but not fatal; it counts as a failed compare.
+func compareAgainst(path string, res *metrics.Result) (failed int, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	file := path
+	if info.IsDir() {
+		file = filepath.Join(path, metrics.ResultFilename(res.Experiment))
+	}
+	old, err := metrics.ReadResultFile(file)
+	if os.IsNotExist(err) {
+		fmt.Printf("compare: no baseline %s\n", file)
+		return 1, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	deltas, err := metrics.Compare(old, res)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("deltas vs %s:\n%s\n", file, metrics.RenderDeltas(deltas))
+	return 0, nil
+}
+
+// validateDir checks every BENCH_*.json below dir against the schema.
+func validateDir(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("no BENCH_*.json files in %s", dir)
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		res, err := metrics.ReadResultFile(path)
+		if err != nil {
+			return err
+		}
+		want := metrics.ResultFilename(res.Experiment)
+		if got := filepath.Base(path); got != want {
+			return fmt.Errorf("%s: holds experiment %s (want file name %s)", path, res.Experiment, want)
+		}
+		fmt.Printf("%s: valid (%s, %d series, seed %d)\n", path, res.Experiment, len(res.Series), res.Seed)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsuite:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,8 @@
 // Command bftbench runs the fully replicated system evaluation the paper
-// lists as future work (experiment E5): a 4-replica PBFT cluster ordering
-// client requests over the NIO stack vs the RUBIN stack.
+// lists as future work (experiment E5): a PBFT cluster ordering client
+// requests over the NIO stack vs the RUBIN stack. Cluster shape and load
+// are parameters (-n, -f, -clients); cmd/benchsuite runs the same code and
+// also persists machine-readable BENCH_E5.json.
 package main
 
 import (
@@ -8,42 +10,41 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"rubin/internal/bench"
-	"rubin/internal/model"
 )
 
 func main() {
-	payloads := flag.String("payloads", "1,4,16", "request payload sizes in KB")
+	payloads := flag.String("payloads", "", "request payload sizes in KB (default 1,4,16)")
+	n := flag.Int("n", 0, "replica count (default 4; f defaults to (n-1)/3)")
+	f := flag.Int("f", 0, "tolerated faults (default (n-1)/3)")
+	clients := flag.Int("clients", 0, "closed-loop clients (default 1)")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	kbs, err := parseKBs(*payloads)
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	rc.Knobs = map[string]string{}
+	if *payloads != "" {
+		rc.Knobs["payloads_kb"] = *payloads
+	}
+	if *n > 0 {
+		rc.Knobs["n"] = strconv.Itoa(*n)
+	}
+	if *f > 0 {
+		rc.Knobs["f"] = strconv.Itoa(*f)
+	}
+	if *clients > 0 {
+		rc.Knobs["clients"] = strconv.Itoa(*clients)
+	}
+
+	res, err := bench.Run("E5", rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bftbench:", err)
 		os.Exit(1)
 	}
-
-	fmt.Println("E5 — BFT agreement over RUBIN vs Java NIO (4 replicas, f=1, PBFT)")
-	fmt.Println()
-	latency, throughput, sendFaults, err := bench.BFTTables(kbs, model.Default())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bftbench:", err)
-		os.Exit(1)
+	fmt.Printf("E5 — BFT agreement over RUBIN vs Java NIO (%s, PBFT)\n\n", res.Config["cluster"])
+	for _, tab := range res.Tables() {
+		fmt.Println(tab.Render())
 	}
-	fmt.Println(latency.Render())
-	fmt.Println(throughput.Render())
-	fmt.Printf("send faults surfaced across all runs: %d\n", sendFaults)
-}
-
-func parseKBs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		kb, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || kb < 1 {
-			return nil, fmt.Errorf("bad payload %q", part)
-		}
-		out = append(out, kb)
-	}
-	return out, nil
 }

@@ -3,36 +3,54 @@
 // recovery of the restarted replica via PBFT state transfer, partition of
 // the new leader, and heal — over both transport backends. The timeline
 // is orchestrated by the deterministic chaos subsystem, so a given seed
-// reproduces the identical virtual-time trace.
+// reproduces the identical virtual-time trace (printed below the tables).
+// cmd/benchsuite runs the same code and also persists machine-readable
+// BENCH_E7.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 
 	"rubin/internal/bench"
-	"rubin/internal/model"
-	"rubin/internal/transport"
 )
 
 func main() {
-	payload := flag.Int("payload", 512, "request payload size in bytes")
-	window := flag.Int("window", 16, "client-side outstanding requests")
+	payload := flag.Int("payload", 0, "request payload size in bytes (default 512)")
+	window := flag.Int("window", 0, "client-side outstanding requests (default 16)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	rc.Knobs = map[string]string{}
+	if *payload > 0 {
+		rc.Knobs["payload"] = strconv.Itoa(*payload)
+	}
+	if *window > 0 {
+		rc.Knobs["window"] = strconv.Itoa(*window)
+	}
+
+	res, err := bench.Run("E7", rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		os.Exit(1)
+	}
 	fmt.Println("E7 — BFT agreement under faults: crash, view change, state transfer, partition, heal")
-	fmt.Println()
-	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
-		cfg := bench.ChaosConfig{Kind: kind, Payload: *payload, Window: *window, Seed: *seed}
-		res, err := bench.RunChaos(cfg, model.Default())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "chaosbench:", err)
-			os.Exit(1)
-		}
-		fmt.Println(res.Render())
-		fmt.Printf("restarted replica completed %d state transfer(s)\n", res.StateTransfers)
-		fmt.Printf("fault timeline for %s (virtual time):\n%s\n", kind, res.Trace)
+	fmt.Printf("phases by index: %s\n\n", res.Config["phases"])
+	for _, tab := range res.Tables() {
+		fmt.Println(tab.Render())
+	}
+	fmt.Printf("fault counters by index: %s\n\n", res.Config["counter_index"])
+	var notes []string
+	for k := range res.Notes {
+		notes = append(notes, k)
+	}
+	sort.Strings(notes)
+	for _, k := range notes {
+		fmt.Printf("fault timeline %s (virtual time):\n%s\n", k, res.Notes[k])
 	}
 }

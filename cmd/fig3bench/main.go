@@ -1,50 +1,41 @@
 // Command fig3bench regenerates Figure 3 of the paper: the two-machine
 // echo micro-benchmark comparing TCP, RDMA Send/Recv, RDMA Read/Write and
 // the optimized RDMA Channel, reporting latency (3a) and throughput (3b)
-// over payloads of 1–100 KB.
+// over payloads of 1–100 KB. It is a thin front-end to the registered
+// experiments E1 and E2; cmd/benchsuite runs the same code and also
+// persists machine-readable BENCH_E1.json / BENCH_E2.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"rubin/internal/bench"
-	"rubin/internal/model"
 )
 
 func main() {
-	payloads := flag.String("payloads", "1,2,4,8,16,32,64,100", "payload sizes in KB, comma separated")
+	payloads := flag.String("payloads", "", "payload sizes in KB, comma separated (default: the paper's sweep)")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	kbs, err := parseKBs(*payloads)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig3bench:", err)
-		os.Exit(1)
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	if *payloads != "" {
+		rc.Knobs = map[string]string{"payloads_kb": *payloads}
 	}
 
-	fmt.Println("Figure 3 — RDMA channel micro-benchmark")
-	fmt.Println("(simulated testbed: two 4-core hosts, 10 Gbps RoCE-style link; see DESIGN.md)")
+	fmt.Println("Figure 3 — RDMA channel micro-benchmark (experiments E1, E2)")
+	fmt.Println("(simulated testbed: two 4-core hosts, 10 Gbps RoCE-style link)")
 	fmt.Println()
-	latency, throughput, err := bench.Fig3Tables(kbs, model.Default())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig3bench:", err)
-		os.Exit(1)
-	}
-	fmt.Println(latency.Render())
-	fmt.Println(throughput.Render())
-}
-
-func parseKBs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		kb, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || kb < 1 {
-			return nil, fmt.Errorf("bad payload %q", part)
+	for _, name := range []string{"E1", "E2"} {
+		res, err := bench.Run(name, rc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig3bench:", err)
+			os.Exit(1)
 		}
-		out = append(out, kb)
+		for _, tab := range res.Tables() {
+			fmt.Println(tab.Render())
+		}
 	}
-	return out, nil
 }

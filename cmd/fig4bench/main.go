@@ -1,50 +1,41 @@
 // Command fig4bench regenerates Figure 4 of the paper: an echo server on
 // the Reptor communication stack comparing the RUBIN selector with the
 // Java-NIO-style selector (window size 30, batching 10), reporting latency
-// (4a) and throughput (4b).
+// (4a) and throughput (4b). It is a thin front-end to the registered
+// experiments E3 and E4; cmd/benchsuite runs the same code and also
+// persists machine-readable BENCH_E3.json / BENCH_E4.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"rubin/internal/bench"
-	"rubin/internal/model"
 )
 
 func main() {
-	payloads := flag.String("payloads", "1,10,20,40,60,80,100", "payload sizes in KB, comma separated")
+	payloads := flag.String("payloads", "", "payload sizes in KB, comma separated (default: the paper's sweep)")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	kbs, err := parseKBs(*payloads)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig4bench:", err)
-		os.Exit(1)
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	if *payloads != "" {
+		rc.Knobs = map[string]string{"payloads_kb": *payloads}
 	}
 
-	fmt.Println("Figure 4 — RUBIN selector vs Java NIO selector over the Reptor stack")
+	fmt.Println("Figure 4 — RUBIN selector vs Java NIO selector over the Reptor stack (experiments E3, E4)")
 	fmt.Println("(window 30, batch 10, per the paper's measurement)")
 	fmt.Println()
-	latency, throughput, err := bench.Fig4Tables(kbs, model.Default())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig4bench:", err)
-		os.Exit(1)
-	}
-	fmt.Println(latency.Render())
-	fmt.Println(throughput.Render())
-}
-
-func parseKBs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		kb, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || kb < 1 {
-			return nil, fmt.Errorf("bad payload %q", part)
+	for _, name := range []string{"E3", "E4"} {
+		res, err := bench.Run(name, rc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig4bench:", err)
+			os.Exit(1)
 		}
-		out = append(out, kb)
+		for _, tab := range res.Tables() {
+			fmt.Println(tab.Render())
+		}
 	}
-	return out, nil
 }

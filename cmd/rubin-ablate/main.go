@@ -1,48 +1,37 @@
 // Command rubin-ablate quantifies each Section IV optimization of the
 // RUBIN channel by disabling it in isolation (experiment E6): selective
 // signaling, doorbell batching, inline sends, and the projected zero-copy
-// receive path.
+// receive path. cmd/benchsuite runs the same code and also persists
+// machine-readable BENCH_E6.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"rubin/internal/bench"
-	"rubin/internal/model"
 )
 
 func main() {
-	payloads := flag.String("payloads", "1,4,16,64,100", "payload sizes in KB")
+	payloads := flag.String("payloads", "", "payload sizes in KB (default 1,4,16,64,100)")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	kbs, err := parseKBs(*payloads)
+	rc := bench.DefaultRunContext()
+	rc.Seed = *seed
+	if *payloads != "" {
+		rc.Knobs = map[string]string{"payloads_kb": *payloads}
+	}
+
+	res, err := bench.Run("E6", rc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubin-ablate:", err)
 		os.Exit(1)
 	}
-
 	fmt.Println("E6 — RUBIN channel optimization ablations (echo mean RTT)")
 	fmt.Println()
-	tab, err := bench.AblationTable(kbs, model.Default())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rubin-ablate:", err)
-		os.Exit(1)
+	for _, tab := range res.Tables() {
+		fmt.Println(tab.Render())
 	}
-	fmt.Println(tab.Render())
-}
-
-func parseKBs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		kb, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || kb < 1 {
-			return nil, fmt.Errorf("bad payload %q", part)
-		}
-		out = append(out, kb)
-	}
-	return out, nil
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"strconv"
+
 	"rubin/internal/metrics"
 	"rubin/internal/model"
 	"rubin/internal/rubin"
@@ -33,6 +35,16 @@ func Ablations() []Ablation {
 	}
 }
 
+// runAblation measures the channel echo under one variant/payload point.
+func runAblation(ab Ablation, cfg EchoConfig, params model.Params) (EchoResult, error) {
+	p := params
+	var mutate func(*rubin.Config)
+	if ab.Mutate != nil {
+		mutate = func(c *rubin.Config) { ab.Mutate(&p, c) }
+	}
+	return echoChannelCfg(cfg, p, mutate)
+}
+
 // AblationTable measures the channel echo under every variant for the
 // given payloads, reporting mean round-trip latency in µs.
 func AblationTable(payloadsKB []int, params model.Params) (*metrics.Table, error) {
@@ -40,17 +52,11 @@ func AblationTable(payloadsKB []int, params model.Params) (*metrics.Table, error
 	for _, ab := range Ablations() {
 		series := tab.AddSeries(ab.Name)
 		for _, kb := range payloadsKB {
-			p := params
 			cfg := DefaultEchoConfig(kb << 10)
 			// Saturate the selector thread so per-message overheads are
 			// on the critical path (idle gaps would otherwise hide them).
 			cfg.Window = 8
-			var mutate func(*rubin.Config)
-			if ab.Mutate != nil {
-				ab := ab
-				mutate = func(c *rubin.Config) { ab.Mutate(&p, c) }
-			}
-			res, err := echoChannelCfg(cfg, p, mutate)
+			res, err := runAblation(ab, cfg, params)
 			if err != nil {
 				return nil, err
 			}
@@ -58,4 +64,75 @@ func AblationTable(payloadsKB []int, params model.Params) (*metrics.Table, error
 		}
 	}
 	return tab, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry entry: E6 (Section IV optimization ablations).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E6",
+		Title:  "RUBIN channel optimization ablations (echo mean RTT)",
+		Figure: "paper Section IV/V",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE6(rc)
+			return cfg, err
+		},
+		Run: runE6,
+	})
+}
+
+type e6Knobs struct {
+	payloadsKB []int
+	messages   int
+	warmup     int
+	window     int
+}
+
+func resolveE6(rc RunContext) (e6Knobs, map[string]string, error) {
+	k := e6Knobs{payloadsKB: []int{1, 4, 16, 64, 100}, messages: 1000, warmup: 50, window: 8}
+	if rc.Quick {
+		k.payloadsKB, k.messages, k.warmup = []int{2}, 150, 20
+	}
+	var err error
+	if k.payloadsKB, err = rc.intsKnob("payloads_kb", k.payloadsKB); err != nil {
+		return k, nil, err
+	}
+	if k.messages, err = rc.intKnob("messages", k.messages); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	cfg := map[string]string{
+		"payloads_kb": formatInts(k.payloadsKB),
+		"messages":    strconv.Itoa(k.messages),
+		"warmup":      strconv.Itoa(k.warmup),
+		"window":      strconv.Itoa(k.window),
+	}
+	return k, cfg, nil
+}
+
+func runE6(rc RunContext, res *metrics.Result) error {
+	k, _, err := resolveE6(rc)
+	if err != nil {
+		return err
+	}
+	for _, ab := range Ablations() {
+		mean := res.AddSeries(ab.Name, metrics.MetricLatencyMean, "us", "rdma", "payload_kb")
+		for _, kb := range k.payloadsKB {
+			cfg := EchoConfig{Payload: kb << 10, Messages: k.messages, Warmup: k.warmup,
+				Window: k.window, Seed: rc.Seed}
+			r, err := runAblation(ab, cfg, rc.Model)
+			if err != nil {
+				return err
+			}
+			mean.Add(float64(kb), r.MeanRT.Micros())
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 
 	"rubin/internal/kvstore"
 	"rubin/internal/metrics"
@@ -12,26 +13,39 @@ import (
 )
 
 // BFTConfig parameterizes the fully-replicated-system evaluation (the
-// paper's stated future work, experiment E5): a 3F+1 PBFT cluster ordering
-// client requests over either transport stack.
+// paper's stated future work, experiment E5, and the N-axis of the E8
+// scaling study): a 3F+1 PBFT cluster ordering closed-loop client requests
+// over either transport stack. Cluster size (N, F) and offered load
+// (Clients, Window) are parameters, not constants.
 type BFTConfig struct {
 	Kind     transport.Kind
 	Payload  int // request operation size
-	Requests int // measured requests
-	Warmup   int
-	Window   int // client-side outstanding requests
+	Requests int // measured requests per client
+	Warmup   int // unmeasured requests per client
+	Window   int // outstanding requests per client
 	Batch    int // PBFT batch size
 	N, F     int
+	Clients  int // closed-loop clients (0 means 1)
 	Seed     int64
 }
 
-// DefaultBFTConfig returns the 4-replica, f=1 setup.
+// DefaultBFTConfig returns the 4-replica, f=1, single-client setup.
 func DefaultBFTConfig(kind transport.Kind, payload int) BFTConfig {
 	return BFTConfig{
 		Kind: kind, Payload: payload,
 		Requests: 150, Warmup: 20, Window: 16, Batch: 8,
-		N: 4, F: 1, Seed: 1,
+		N: 4, F: 1, Clients: 1, Seed: 1,
 	}
+}
+
+// Label describes the replica-group shape of this configuration — derived
+// from the actual values, so a 7-replica run never reads "4 replicas".
+func (c BFTConfig) Label() string {
+	label := fmt.Sprintf("%d replicas, f=%d", c.N, c.F)
+	if c.Clients > 1 {
+		label += fmt.Sprintf(", %d clients", c.Clients)
+	}
+	return label
 }
 
 // BFTResult is one measurement point of the replicated system.
@@ -40,13 +54,74 @@ type BFTResult struct {
 	Payload    int
 	MeanLat    sim.Time // client-observed request latency
 	P99Lat     sim.Time
-	Throughput float64 // requests per second
+	Throughput float64 // requests per second across all clients
 	SendFaults uint64  // delivery failures surfaced by msgnet across replicas
 }
 
+// closedLoop is the measurement driver RunBFT and RunCOP share: each of
+// clients runs its own closed loop of window outstanding requests through
+// invoke(ci, op, done). Latency samples start after the per-client warmup;
+// startAt is the moment the first client sends its first measured request
+// and endAt the last measured completion.
+type closedLoop struct {
+	rec     *metrics.Recorder
+	startAt sim.Time
+	endAt   sim.Time
+	done    int
+}
+
+// runClosedLoop drives the workload to completion on loop; makeOp builds
+// the idx-th operation of client ci (keys must be unique per (ci, idx)).
+func runClosedLoop(loop *sim.Loop, clients, requests, warmup, window int,
+	makeOp func(ci, idx int) []byte,
+	invoke func(ci int, op []byte, done func([]byte))) closedLoop {
+	cl := closedLoop{rec: metrics.NewRecorder()}
+	perClient := requests + warmup
+	started := false
+	launch := func(ci int) {
+		sent, done := 0, 0
+		var sendOne func()
+		sendOne = func() {
+			if sent == warmup && !started {
+				cl.startAt, started = loop.Now(), true
+			}
+			idx := sent
+			sent++
+			t0 := loop.Now()
+			invoke(ci, makeOp(ci, idx), func([]byte) {
+				done++
+				cl.done++
+				if done > warmup {
+					cl.rec.Record(loop.Now() - t0)
+					cl.endAt = loop.Now()
+				}
+				if sent < perClient {
+					sendOne()
+				}
+			})
+		}
+		loop.Post(func() {
+			for i := 0; i < window && sent < perClient; i++ {
+				sendOne()
+			}
+		})
+	}
+	for ci := 0; ci < clients; ci++ {
+		launch(ci)
+	}
+	loop.Run()
+	return cl
+}
+
 // RunBFT measures agreement latency and throughput of the full replicated
-// system for one configuration.
+// system for one configuration. Each client runs its own closed loop of
+// Window outstanding requests; latency samples start after the per-client
+// warmup and throughput aggregates all clients.
 func RunBFT(cfg BFTConfig, params model.Params) (BFTResult, error) {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
 	pcfg := pbft.DefaultConfig()
 	pcfg.N, pcfg.F = cfg.N, cfg.F
 	pcfg.BatchSize = cfg.Batch
@@ -58,77 +133,130 @@ func RunBFT(cfg BFTConfig, params model.Params) (BFTResult, error) {
 	if err := cluster.Start(); err != nil {
 		return BFTResult{}, err
 	}
-	client, err := cluster.AddClient()
-	if err != nil {
-		return BFTResult{}, err
+	cls := make([]*pbft.Client, clients)
+	for i := range cls {
+		if cls[i], err = cluster.AddClient(); err != nil {
+			return BFTResult{}, err
+		}
 	}
 
-	loop := cluster.Loop
-	rec := metrics.NewRecorder()
 	value := string(make([]byte, cfg.Payload))
-	total := cfg.Requests + cfg.Warmup
-	sent, done := 0, 0
-	var startAt, endAt sim.Time
-
-	var sendOne func()
-	sendOne = func() {
-		if sent == cfg.Warmup {
-			startAt = loop.Now()
-		}
-		idx := sent
-		sent++
-		t0 := loop.Now()
-		op := kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("bench-%06d", idx), value)
-		client.Invoke(op, func([]byte) {
-			done++
-			if done > cfg.Warmup {
-				rec.Record(loop.Now() - t0)
-				endAt = loop.Now()
-			}
-			if sent < total {
-				sendOne()
-			}
-		})
-	}
-	loop.Post(func() {
-		for i := 0; i < cfg.Window && sent < total; i++ {
-			sendOne()
-		}
-	})
-	loop.Run()
-	if done != total {
-		return BFTResult{}, fmt.Errorf("bench: completed %d of %d requests", done, total)
+	res := runClosedLoop(cluster.Loop, clients, cfg.Requests, cfg.Warmup, cfg.Window,
+		func(ci, idx int) []byte {
+			return kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("bench-%d-%06d", ci, idx), value)
+		},
+		func(ci int, op []byte, done func([]byte)) { cls[ci].Invoke(op, done) })
+	if want := (cfg.Requests + cfg.Warmup) * clients; res.done != want {
+		return BFTResult{}, fmt.Errorf("bench: completed %d of %d requests", res.done, want)
 	}
 	return BFTResult{
 		Kind:       cfg.Kind,
 		Payload:    cfg.Payload,
-		MeanLat:    rec.Mean(),
-		P99Lat:     rec.Percentile(99),
-		Throughput: metrics.Throughput(rec.Count(), endAt-startAt),
+		MeanLat:    res.rec.Mean(),
+		P99Lat:     res.rec.Percentile(99),
+		Throughput: metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
 		SendFaults: cluster.SendFaults(),
 	}, nil
 }
 
-// BFTTables sweeps both transports over the payload list and returns the
-// agreement latency (µs) and throughput (req/s) tables of experiment E5,
-// plus the total delivery failures surfaced by msgnet across all runs —
-// nonzero faults in a fault-free sweep indicate a transport regression.
-func BFTTables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, sendFaults uint64, err error) {
-	latency = metrics.NewTable("E5: BFT agreement latency (4 replicas, f=1)", "payload_kb", "latency µs")
-	throughput = metrics.NewTable("E5: BFT throughput (4 replicas, f=1)", "payload_kb", "req/s")
-	names := map[transport.Kind]string{transport.KindRDMA: "Reptor+RUBIN", transport.KindTCP: "Reptor+NIO"}
+// ---------------------------------------------------------------------------
+// Registry entry: E5 (replicated-system agreement over both transports).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E5",
+		Title:  "BFT agreement latency and throughput (PBFT over RUBIN vs NIO)",
+		Figure: "paper Section VI (stated future work)",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE5(rc)
+			return cfg, err
+		},
+		Run: runE5,
+	})
+}
+
+// e5SeriesNames label the replicated system on each backend.
+var e5SeriesNames = map[transport.Kind]string{
+	transport.KindRDMA: "Reptor+RUBIN",
+	transport.KindTCP:  "Reptor+NIO",
+}
+
+func resolveE5(rc RunContext) (BFTConfig, map[string]string, error) {
+	base := DefaultBFTConfig(transport.KindRDMA, 0)
+	base.Seed = rc.Seed
+	payloadsKB := []int{1, 4, 16}
+	if rc.Quick {
+		payloadsKB = []int{1}
+		base.Requests, base.Warmup = 60, 10
+	}
+	var err error
+	if payloadsKB, err = rc.intsKnob("payloads_kb", payloadsKB); err != nil {
+		return base, nil, err
+	}
+	if base.N, err = rc.intKnob("n", base.N); err != nil {
+		return base, nil, err
+	}
+	if base.F, err = rc.intKnob("f", (base.N-1)/3); err != nil {
+		return base, nil, err
+	}
+	if base.Requests, err = rc.intKnob("requests", base.Requests); err != nil {
+		return base, nil, err
+	}
+	if base.Warmup, err = rc.intKnob("warmup", base.Warmup); err != nil {
+		return base, nil, err
+	}
+	if base.Window, err = rc.intKnob("window", base.Window); err != nil {
+		return base, nil, err
+	}
+	if base.Batch, err = rc.intKnob("batch", base.Batch); err != nil {
+		return base, nil, err
+	}
+	if base.Clients, err = rc.intKnob("clients", base.Clients); err != nil {
+		return base, nil, err
+	}
+	cfg := map[string]string{
+		"payloads_kb": formatInts(payloadsKB),
+		"n":           strconv.Itoa(base.N),
+		"f":           strconv.Itoa(base.F),
+		"requests":    strconv.Itoa(base.Requests),
+		"warmup":      strconv.Itoa(base.Warmup),
+		"window":      strconv.Itoa(base.Window),
+		"batch":       strconv.Itoa(base.Batch),
+		"clients":     strconv.Itoa(base.Clients),
+	}
+	return base, cfg, nil
+}
+
+func runE5(rc RunContext, res *metrics.Result) error {
+	base, cfg, err := resolveE5(rc)
+	if err != nil {
+		return err
+	}
+	payloadsKB, err := ParseInts(cfg["payloads_kb"])
+	if err != nil {
+		return err
+	}
+	res.SetConfig("cluster", base.Label())
 	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
-		ls := latency.AddSeries(names[kind])
-		ts := throughput.AddSeries(names[kind])
+		name := e5SeriesNames[kind]
+		mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "payload_kb")
+		p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "payload_kb")
+		tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "payload_kb")
+		faults := res.AddSeries(name, metrics.MetricSendFaults, "count", string(kind), "payload_kb")
 		for _, kb := range payloadsKB {
-			res, err := RunBFT(DefaultBFTConfig(kind, kb<<10), params)
+			c := base
+			c.Kind = kind
+			c.Payload = kb << 10
+			r, err := RunBFT(c, rc.Model)
 			if err != nil {
-				return nil, nil, 0, err
+				return err
 			}
-			ls.Add(float64(kb), res.MeanLat.Micros())
-			ts.Add(float64(kb), res.Throughput)
-			sendFaults += res.SendFaults
+			mean.Add(float64(kb), r.MeanLat.Micros())
+			p99.Add(float64(kb), r.P99Lat.Micros())
+			tput.Add(float64(kb), r.Throughput)
+			faults.Add(float64(kb), float64(r.SendFaults))
 		}
 	}
-	return latency, throughput, sendFaults, nil
+	return nil
 }

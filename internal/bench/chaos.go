@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"rubin/internal/chaos"
@@ -44,6 +45,7 @@ type ChaosPhase struct {
 // ChaosResult is one full E7 run.
 type ChaosResult struct {
 	Kind           transport.Kind
+	N, F           int // replica-group shape the timeline ran against
 	Phases         []ChaosPhase
 	Trace          string // virtual-time fault trace (deterministic per seed)
 	StateTransfers uint64 // completed by the restarted replica
@@ -174,6 +176,8 @@ func RunChaos(cfg ChaosConfig, params model.Params) (ChaosResult, error) {
 	}
 	return ChaosResult{
 		Kind:           cfg.Kind,
+		N:              pcfg.N,
+		F:              pcfg.F,
 		Phases:         phases,
 		Trace:          sched.TraceString(),
 		StateTransfers: cluster.Replicas[0].StateTransfers(),
@@ -182,10 +186,95 @@ func RunChaos(cfg ChaosConfig, params model.Params) (ChaosResult, error) {
 	}, nil
 }
 
+// ---------------------------------------------------------------------------
+// Registry entry: E7 (agreement under a scripted fault timeline).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E7",
+		Title:  "BFT agreement under faults (crash, view change, state transfer, partition, heal)",
+		Figure: "beyond the paper: fault-regime evaluation",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE7(rc)
+			return cfg, err
+		},
+		Run: runE7,
+	})
+}
+
+func resolveE7(rc RunContext) (ChaosConfig, map[string]string, error) {
+	base := DefaultChaosConfig(transport.KindRDMA)
+	base.Seed = rc.Seed
+	if rc.Quick {
+		// Window 4 matches the chaos tests' cheap configuration; the
+		// timeline and protocol behaviour are unchanged.
+		base.Window = 4
+	}
+	var err error
+	if base.Payload, err = rc.intKnob("payload", base.Payload); err != nil {
+		return base, nil, err
+	}
+	if base.Window, err = rc.intKnob("window", base.Window); err != nil {
+		return base, nil, err
+	}
+	cfg := map[string]string{
+		"payload": strconv.Itoa(base.Payload),
+		"window":  strconv.Itoa(base.Window),
+	}
+	return base, cfg, nil
+}
+
+// phaseNames lists the fixed E7 timeline phases in index order.
+func phaseNames() []string {
+	_, phases := chaosTimeline()
+	names := make([]string, len(phases))
+	for i, p := range phases {
+		names[i] = p.Name
+	}
+	return names
+}
+
+func runE7(rc RunContext, res *metrics.Result) error {
+	base, _, err := resolveE7(rc)
+	if err != nil {
+		return err
+	}
+	res.SetConfig("phases", strings.Join(phaseNames(), ","))
+	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
+		cfg := base
+		cfg.Kind = kind
+		r, err := RunChaos(cfg, rc.Model)
+		if err != nil {
+			return err
+		}
+		name := string(kind)
+		tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", name, "phase_index")
+		mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", name, "phase_index")
+		p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", name, "phase_index")
+		commits := res.AddSeries(name, metrics.MetricCommits, "count", name, "phase_index")
+		for i, p := range r.Phases {
+			x := float64(i)
+			tput.Add(x, p.Throughput)
+			mean.Add(x, p.MeanLat.Micros())
+			p99.Add(x, p.P99Lat.Micros())
+			commits.Add(x, float64(p.Committed))
+		}
+		counters := res.AddSeries(name+" counters", "fault_counters", "count", name, "counter_index")
+		counters.Add(0, float64(r.StateTransfers)) // state transfers completed
+		counters.Add(1, float64(r.SendFaults))     // surfaced delivery failures
+		counters.Add(2, float64(r.PeakQueueBytes)) // peak msgnet queue depth (bytes)
+		res.SetConfig("cluster["+name+"]", fmt.Sprintf("%d replicas, f=%d", r.N, r.F))
+		res.SetNote("trace["+name+"]", r.Trace)
+	}
+	res.SetConfig("counter_index", "0=state_transfers,1=send_faults,2=peak_queue_bytes")
+	return nil
+}
+
 // Render formats the per-phase measurements as an aligned text table.
 func (r ChaosResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# E7: BFT agreement under faults (%s, 4 replicas, f=1)\n", r.Kind)
+	fmt.Fprintf(&b, "# E7: BFT agreement under faults (%s, %d replicas, f=%d)\n", r.Kind, r.N, r.F)
 	fmt.Fprintf(&b, "%-18s %12s %10s %12s %12s %12s\n",
 		"phase", "window", "commits", "req/s", "mean lat", "p99 lat")
 	for _, p := range r.Phases {

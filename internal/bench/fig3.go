@@ -1,12 +1,24 @@
-// Package bench contains the experiment harnesses that regenerate the
-// paper's evaluation: Figure 3 (transport micro-benchmark), Figure 4
-// (RUBIN vs Java-NIO selector over the Reptor communication stack), the
-// full replicated-system evaluation the paper lists as future work, and
-// ablations of the Section IV optimizations.
+// Package bench is the benchmark-suite subsystem: an experiment registry
+// regenerating the paper's evaluation and its extensions, with every
+// experiment emitting machine-readable results.
+//
+// Experiments E1–E8 register themselves (from their defining files' init
+// functions) as Experiment values: E1/E2 reproduce Figure 3 (transport
+// micro-benchmark), E3/E4 Figure 4 (RUBIN vs Java-NIO selector over the
+// Reptor communication stack), E5 the full replicated-system evaluation
+// the paper lists as future work, E6 ablations of the Section IV
+// optimizations, E7 agreement under a scripted fault timeline, and E8 the
+// scaling study (PBFT cluster size, Reptor COP parallelism, multi-client
+// load). Run executes one experiment under a RunContext (seed, quick
+// mode, cost model, knob overrides) and returns a validated
+// metrics.Result; cmd/benchsuite persists those as BENCH_<name>.json and
+// diffs them across runs. Knob names and the result schema are documented
+// in docs/EXPERIMENTS.md.
 package bench
 
 import (
 	"fmt"
+	"strconv"
 
 	"rubin/internal/fabric"
 	"rubin/internal/metrics"
@@ -73,24 +85,110 @@ func RunFig3(stack Fig3Stack, cfg EchoConfig, params model.Params) (EchoResult, 
 	}
 }
 
-// Fig3Tables sweeps all stacks over the payload list and returns the
-// latency (µs) and throughput (krps) tables of Figures 3a and 3b.
-func Fig3Tables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
-	latency = metrics.NewTable("Figure 3a: echo latency", "payload_kb", "latency µs")
-	throughput = metrics.NewTable("Figure 3b: echo throughput", "payload_kb", "krps")
+// ---------------------------------------------------------------------------
+// Registry entries: E1 (Figure 3a, latency) and E2 (Figure 3b, throughput).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E1",
+		Title:  "echo latency across transport stacks",
+		Figure: "Figure 3a",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveFig3(rc)
+			return cfg, err
+		},
+		Run: func(rc RunContext, res *metrics.Result) error {
+			return runFig3Suite(rc, res, true)
+		},
+	})
+	Register(Experiment{
+		Name:   "E2",
+		Title:  "echo throughput across transport stacks",
+		Figure: "Figure 3b",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveFig3(rc)
+			return cfg, err
+		},
+		Run: func(rc RunContext, res *metrics.Result) error {
+			return runFig3Suite(rc, res, false)
+		},
+	})
+}
+
+// fig3Knobs are the resolved parameters of one E1/E2 run.
+type fig3Knobs struct {
+	payloadsKB []int
+	messages   int
+	warmup     int
+	window     int
+}
+
+func resolveFig3(rc RunContext) (fig3Knobs, map[string]string, error) {
+	k := fig3Knobs{payloadsKB: []int{1, 2, 4, 8, 16, 32, 64, 100}, messages: 1000, warmup: 50, window: 3}
+	if rc.Quick {
+		k.payloadsKB, k.messages, k.warmup = []int{1, 16}, 150, 20
+	}
+	var err error
+	if k.payloadsKB, err = rc.intsKnob("payloads_kb", k.payloadsKB); err != nil {
+		return k, nil, err
+	}
+	if k.messages, err = rc.intKnob("messages", k.messages); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	cfg := map[string]string{
+		"payloads_kb": formatInts(k.payloadsKB),
+		"messages":    strconv.Itoa(k.messages),
+		"warmup":      strconv.Itoa(k.warmup),
+		"window":      strconv.Itoa(k.window),
+	}
+	return k, cfg, nil
+}
+
+// fig3Transport labels the backend each Figure 3 series exercises.
+func fig3Transport(stack Fig3Stack) string {
+	if stack == StackTCP {
+		return "tcp"
+	}
+	return "rdma"
+}
+
+// runFig3Suite sweeps all four stacks; latency selects Figure 3a (mean and
+// p99 round trip in µs), otherwise Figure 3b (closed-loop krps).
+func runFig3Suite(rc RunContext, res *metrics.Result, latency bool) error {
+	k, _, err := resolveFig3(rc)
+	if err != nil {
+		return err
+	}
 	for _, stack := range Fig3Stacks() {
-		ls := latency.AddSeries(string(stack))
-		ts := throughput.AddSeries(string(stack))
-		for _, kb := range payloadsKB {
-			res, err := RunFig3(stack, DefaultEchoConfig(kb<<10), params)
+		var mean, p99, tput *metrics.ResultSeries
+		if latency {
+			mean = res.AddSeries(string(stack), metrics.MetricLatencyMean, "us", fig3Transport(stack), "payload_kb")
+			p99 = res.AddSeries(string(stack), metrics.MetricLatencyP99, "us", fig3Transport(stack), "payload_kb")
+		} else {
+			tput = res.AddSeries(string(stack), metrics.MetricThroughput, "krps", fig3Transport(stack), "payload_kb")
+		}
+		for _, kb := range k.payloadsKB {
+			cfg := EchoConfig{Payload: kb << 10, Messages: k.messages, Warmup: k.warmup, Window: k.window, Seed: rc.Seed}
+			r, err := RunFig3(stack, cfg, rc.Model)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			ls.Add(float64(kb), res.MeanRT.Micros())
-			ts.Add(float64(kb), res.Throughput/1000)
+			if latency {
+				mean.Add(float64(kb), r.MeanRT.Micros())
+				p99.Add(float64(kb), r.P99RT.Micros())
+			} else {
+				tput.Add(float64(kb), r.Throughput/1000)
+			}
 		}
 	}
-	return latency, throughput, nil
+	return nil
 }
 
 // twoNodes builds the two-machine testbed of the paper's evaluation.

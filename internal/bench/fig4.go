@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 
 	"rubin/internal/fabric"
 	"rubin/internal/metrics"
@@ -79,23 +80,111 @@ func RunFig4(kind transport.Kind, cfg Fig4Config, params model.Params) (EchoResu
 	return res, nil
 }
 
-// Fig4Tables sweeps both stacks over the payload list and returns the
-// latency (µs) and throughput (requests/s) tables of Figures 4a and 4b.
-func Fig4Tables(payloadsKB []int, params model.Params) (latency, throughput *metrics.Table, err error) {
-	latency = metrics.NewTable("Figure 4a: selector-stack latency", "payload_kb", "latency µs")
-	throughput = metrics.NewTable("Figure 4b: selector-stack throughput", "payload_kb", "req/s")
-	names := map[transport.Kind]string{transport.KindRDMA: "Rubin", transport.KindTCP: "TCP"}
+// ---------------------------------------------------------------------------
+// Registry entries: E3 (Figure 4a, latency) and E4 (Figure 4b, throughput).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E3",
+		Title:  "selector-stack echo latency (RUBIN vs Java NIO)",
+		Figure: "Figure 4a",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveFig4(rc)
+			return cfg, err
+		},
+		Run: func(rc RunContext, res *metrics.Result) error {
+			return runFig4Suite(rc, res, true)
+		},
+	})
+	Register(Experiment{
+		Name:   "E4",
+		Title:  "selector-stack echo throughput (RUBIN vs Java NIO)",
+		Figure: "Figure 4b",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveFig4(rc)
+			return cfg, err
+		},
+		Run: func(rc RunContext, res *metrics.Result) error {
+			return runFig4Suite(rc, res, false)
+		},
+	})
+}
+
+// fig4Knobs are the resolved parameters of one E3/E4 run.
+type fig4Knobs struct {
+	payloadsKB []int
+	messages   int
+	warmup     int
+	window     int
+	batch      int
+}
+
+func resolveFig4(rc RunContext) (fig4Knobs, map[string]string, error) {
+	k := fig4Knobs{payloadsKB: []int{1, 10, 20, 40, 60, 80, 100}, messages: 1000, warmup: 100, window: 30, batch: 10}
+	if rc.Quick {
+		k.payloadsKB, k.messages, k.warmup = []int{1, 20}, 200, 40
+	}
+	var err error
+	if k.payloadsKB, err = rc.intsKnob("payloads_kb", k.payloadsKB); err != nil {
+		return k, nil, err
+	}
+	if k.messages, err = rc.intKnob("messages", k.messages); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	if k.batch, err = rc.intKnob("batch", k.batch); err != nil {
+		return k, nil, err
+	}
+	cfg := map[string]string{
+		"payloads_kb": formatInts(k.payloadsKB),
+		"messages":    strconv.Itoa(k.messages),
+		"warmup":      strconv.Itoa(k.warmup),
+		"window":      strconv.Itoa(k.window),
+		"batch":       strconv.Itoa(k.batch),
+	}
+	return k, cfg, nil
+}
+
+// fig4SeriesNames label the two selector stacks the way the paper's legend
+// does.
+var fig4SeriesNames = map[transport.Kind]string{transport.KindRDMA: "Rubin", transport.KindTCP: "TCP"}
+
+// runFig4Suite sweeps both selector stacks; latency selects Figure 4a,
+// otherwise Figure 4b.
+func runFig4Suite(rc RunContext, res *metrics.Result, latency bool) error {
+	k, _, err := resolveFig4(rc)
+	if err != nil {
+		return err
+	}
 	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
-		ls := latency.AddSeries(names[kind])
-		ts := throughput.AddSeries(names[kind])
-		for _, kb := range payloadsKB {
-			res, err := RunFig4(kind, DefaultFig4Config(kb<<10), params)
+		name := fig4SeriesNames[kind]
+		var mean, p99, tput *metrics.ResultSeries
+		if latency {
+			mean = res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "payload_kb")
+			p99 = res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "payload_kb")
+		} else {
+			tput = res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "payload_kb")
+		}
+		for _, kb := range k.payloadsKB {
+			cfg := Fig4Config{Payload: kb << 10, Messages: k.messages, Warmup: k.warmup,
+				Window: k.window, Batch: k.batch, Seed: rc.Seed}
+			r, err := RunFig4(kind, cfg, rc.Model)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
-			ls.Add(float64(kb), res.MeanRT.Micros())
-			ts.Add(float64(kb), res.Throughput)
+			if latency {
+				mean.Add(float64(kb), r.MeanRT.Micros())
+				p99.Add(float64(kb), r.P99RT.Micros())
+			} else {
+				tput.Add(float64(kb), r.Throughput)
+			}
 		}
 	}
-	return latency, throughput, nil
+	return nil
 }

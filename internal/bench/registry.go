@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+)
+
+// RunContext carries everything an experiment run is parameterized by:
+// the simulation seed, the calibrated cost model, a quick/full switch, and
+// experiment-specific knob overrides. The zero Knobs map means "defaults";
+// Quick shrinks sweeps and message counts for CI smoke runs while keeping
+// every code path exercised.
+type RunContext struct {
+	Seed  int64
+	Quick bool
+	Model model.Params
+	// Knobs overrides experiment-specific parameters by name (the knob
+	// names of each experiment are listed in docs/EXPERIMENTS.md and
+	// echoed into Result.Config). Unknown knobs are rejected by Run.
+	Knobs map[string]string
+}
+
+// DefaultRunContext returns the standard full-fidelity context: seed 1 and
+// the calibrated default cost model.
+func DefaultRunContext() RunContext {
+	return RunContext{Seed: 1, Model: model.Default()}
+}
+
+// knob returns the override for name, or def.
+func (rc RunContext) knob(name, def string) string {
+	if v, ok := rc.Knobs[name]; ok {
+		return v
+	}
+	return def
+}
+
+// intKnob parses an integer knob.
+func (rc RunContext) intKnob(name string, def int) (int, error) {
+	v, ok := rc.Knobs[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return 0, fmt.Errorf("bench: knob %s=%q: %v", name, v, err)
+	}
+	return n, nil
+}
+
+// intsKnob parses a comma-separated positive integer list knob.
+func (rc RunContext) intsKnob(name string, def []int) ([]int, error) {
+	v, ok := rc.Knobs[name]
+	if !ok {
+		return def, nil
+	}
+	out, err := ParseInts(v)
+	if err != nil {
+		return nil, fmt.Errorf("bench: knob %s: %v", name, err)
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated list of positive integers (the
+// format of payload/size-sweep flags and knobs).
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// formatInts renders an integer list the way knobs encode it.
+func formatInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Experiment is one registered entry of the benchmark suite. Every
+// experiment E1–E8 registers itself from its defining file's init, so any
+// binary importing internal/bench sees the full suite.
+type Experiment struct {
+	// Name is the registry key: "E1".."E8".
+	Name string
+	// Title is the one-line human description.
+	Title string
+	// Figure maps the experiment to the paper figure/section (or the
+	// follow-up work) it reproduces.
+	Figure string
+	// Params resolves the effective knob values under rc — exactly the
+	// set of accepted knob names (Run rejects any other), echoed into
+	// Result.Config so a stored file documents its own run.
+	Params func(rc RunContext) (map[string]string, error)
+	// Run executes the experiment and fills res with series; the registry
+	// has already populated identity, seed and the knob echo. Run may add
+	// derived config entries (e.g. E5's "cluster" label) on top.
+	Run func(rc RunContext, res *metrics.Result) error
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry; it panics on duplicate or
+// malformed registrations (these are programmer errors wired at init).
+func Register(e Experiment) {
+	if e.Name == "" || e.Title == "" || e.Figure == "" || e.Params == nil || e.Run == nil {
+		panic(fmt.Sprintf("bench: incomplete experiment registration %+v", e))
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("bench: duplicate experiment %s", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Experiments returns all registered experiments sorted by name (numeric
+// suffix order: E1..E10).
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(out[i].Name, "E"))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(out[j].Name, "E"))
+		return ni != nj && ni < nj || ni == nj && out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Run executes one experiment under the given context and returns its
+// validated machine-readable result.
+func Run(name string, rc RunContext) (*metrics.Result, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", name, knownNames())
+	}
+	cfg, err := e.Params(rc)
+	if err != nil {
+		return nil, err
+	}
+	for k := range rc.Knobs {
+		if _, known := cfg[k]; !known {
+			return nil, fmt.Errorf("bench: %s: unknown knob %q (have %s)", name, k, knownKnobs(cfg))
+		}
+	}
+	res := metrics.NewResult(e.Name, e.Title, e.Figure, rc.Seed, rc.Quick)
+	for k, v := range cfg {
+		res.SetConfig(k, v)
+	}
+	if err := e.Run(rc, res); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s produced invalid result: %w", name, err)
+	}
+	return res, nil
+}
+
+func knownNames() string {
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func knownKnobs(cfg map[string]string) string {
+	var names []string
+	for k := range cfg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

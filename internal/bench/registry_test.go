@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rubin/internal/metrics"
+)
+
+// TestRegistryComplete asserts the suite registers E1–E8 with full
+// metadata, in numeric order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d is %s, want %s", i, e.Name, want[i])
+		}
+		if e.Title == "" || e.Figure == "" || e.Params == nil || e.Run == nil {
+			t.Errorf("%s: incomplete metadata %+v", e.Name, e)
+		}
+		if _, ok := Lookup(e.Name); !ok {
+			t.Errorf("Lookup(%s) failed", e.Name)
+		}
+	}
+}
+
+// TestRunRejectsUnknown asserts unknown experiments and unknown knobs are
+// errors, not silent no-ops.
+func TestRunRejectsUnknown(t *testing.T) {
+	rc := DefaultRunContext()
+	if _, err := Run("E99", rc); err == nil {
+		t.Error("Run accepted unknown experiment E99")
+	}
+	rc.Quick = true
+	rc.Knobs = map[string]string{"no_such_knob": "1"}
+	if _, err := Run("E1", rc); err == nil {
+		t.Error("Run accepted unknown knob")
+	}
+	rc.Knobs = map[string]string{"payloads_kb": "zero"}
+	if _, err := Run("E1", rc); err == nil {
+		t.Error("Run accepted malformed knob value")
+	}
+}
+
+// tinyKnobs shrink each experiment below even quick mode so the
+// round-trip test stays cheap while exercising every registered Run.
+var tinyKnobs = map[string]map[string]string{
+	"E1": {"payloads_kb": "1", "messages": "60", "warmup": "10"},
+	"E2": {"payloads_kb": "1", "messages": "60", "warmup": "10"},
+	"E3": {"payloads_kb": "1", "messages": "60", "warmup": "10"},
+	"E4": {"payloads_kb": "1", "messages": "60", "warmup": "10"},
+	"E5": {"payloads_kb": "1", "requests": "30", "warmup": "5"},
+	"E6": {"payloads_kb": "2", "messages": "60", "warmup": "10"},
+	"E7": {}, // the timeline is fixed; quick mode already shrinks the window
+	"E8": {"ns": "4", "ks": "1,2", "payloads_kb": "1", "requests": "20", "warmup": "5"},
+}
+
+// TestExperimentJSONRoundTripAndDeterminism runs every registered
+// experiment twice under the same seed and asserts (a) the two runs
+// marshal to byte-identical JSON — the determinism contract BENCH_*.json
+// relies on — and (b) the JSON unmarshals back to an equal Result.
+func TestExperimentJSONRoundTripAndDeterminism(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			rc := DefaultRunContext()
+			rc.Quick = true
+			rc.Seed = 7
+			rc.Knobs = tinyKnobs[e.Name]
+
+			first, err := Run(e.Name, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := first.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(e.Name, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := second.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("two seed-7 runs differ:\n%s\nvs\n%s", b1, b2)
+			}
+
+			decoded, err := metrics.ParseResult(b1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, decoded) {
+				t.Fatalf("marshal→unmarshal changed the result:\nin:  %+v\nout: %+v", first, decoded)
+			}
+			if decoded.Seed != 7 || !decoded.Quick || decoded.Experiment != e.Name {
+				t.Fatalf("identity fields wrong after round trip: %+v", decoded)
+			}
+			for knob := range tinyKnobs[e.Name] {
+				if _, ok := decoded.Config[knob]; !ok {
+					t.Errorf("config echo missing knob %q", knob)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/reptor"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// COPConfig parameterizes one point of the Reptor COP scaling axis of
+// experiment E8: K parallel PBFT instances on an N-replica group, driven
+// by closed-loop clients over either transport stack.
+type COPConfig struct {
+	Kind      transport.Kind
+	Instances int // K, the parallel consensus pipelines
+	Payload   int // request operation size
+	Requests  int // measured requests per client
+	Warmup    int // unmeasured requests per client
+	Window    int // outstanding requests per client
+	Batch     int // per-instance PBFT batch size
+	N, F      int
+	Clients   int // closed-loop clients (0 means 1)
+	Seed      int64
+}
+
+// DefaultCOPConfig returns the 4-replica, 4-instance, single-client setup.
+func DefaultCOPConfig(kind transport.Kind, payload int) COPConfig {
+	return COPConfig{
+		Kind: kind, Payload: payload, Instances: 4,
+		Requests: 100, Warmup: 10, Window: 8, Batch: 8,
+		N: 4, F: 1, Clients: 1, Seed: 1,
+	}
+}
+
+// Label describes the group shape of this configuration.
+func (c COPConfig) Label() string {
+	return fmt.Sprintf("%d replicas, f=%d, K=%d, %d clients", c.N, c.F, c.Instances, c.Clients)
+}
+
+// COPResult is one measurement point of the parallelized system.
+type COPResult struct {
+	Kind        transport.Kind
+	Instances   int
+	Payload     int
+	MeanLat     sim.Time
+	P99Lat      sim.Time
+	Throughput  float64 // requests per second across all clients
+	MergedSlots uint64  // global slots merged by node 0's executor
+}
+
+// RunCOP measures ordering latency and throughput of a Reptor COP group
+// for one configuration. Clients route operations to instances by hash
+// (each instance orders a disjoint partition), so adding instances scales
+// the ordering pipeline — the Middleware '15 parallelization the paper
+// targets RUBIN at.
+func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	gcfg := reptor.DefaultConfig()
+	gcfg.Instances = cfg.Instances
+	gcfg.PBFT.N, gcfg.PBFT.F = cfg.N, cfg.F
+	gcfg.PBFT.BatchSize = cfg.Batch
+	group, err := reptor.NewGroup(cfg.Kind, gcfg, params, cfg.Seed,
+		func(int) pbft.Application { return kvstore.New() })
+	if err != nil {
+		return COPResult{}, err
+	}
+	if err := group.Start(); err != nil {
+		return COPResult{}, err
+	}
+	cls := make([]*reptor.Client, clients)
+	for i := range cls {
+		if cls[i], err = group.AddClient(); err != nil {
+			return COPResult{}, err
+		}
+	}
+
+	value := string(make([]byte, cfg.Payload))
+	res := runClosedLoop(group.Loop, clients, cfg.Requests, cfg.Warmup, cfg.Window,
+		func(ci, idx int) []byte {
+			return kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("cop-%d-%06d", ci, idx), value)
+		},
+		func(ci int, op []byte, done func([]byte)) { cls[ci].Invoke(op, done) })
+	if want := (cfg.Requests + cfg.Warmup) * clients; res.done != want {
+		return COPResult{}, fmt.Errorf("bench: COP completed %d of %d requests", res.done, want)
+	}
+	return COPResult{
+		Kind:        cfg.Kind,
+		Instances:   cfg.Instances,
+		Payload:     cfg.Payload,
+		MeanLat:     res.rec.Mean(),
+		P99Lat:      res.rec.Percentile(99),
+		Throughput:  metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
+		MergedSlots: group.Executors[0].MergedSlots(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry entry: E8 (scaling study — cluster size and COP parallelism).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E8",
+		Title:  "scaling study: PBFT cluster size (N) and Reptor COP parallelism (K)",
+		Figure: "beyond the paper: COP (Behl et al., Middleware '15) scaling axis",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE8(rc)
+			return cfg, err
+		},
+		Run: runE8,
+	})
+}
+
+// e8Knobs are the resolved parameters of one E8 run.
+type e8Knobs struct {
+	ns         []int // PBFT cluster sizes; f = (n-1)/3 each
+	ks         []int // COP instance counts on the copN-replica group
+	payloadsKB []int
+	copN       int
+	requests   int
+	warmup     int
+	window     int
+	clients    int
+	batch      int
+}
+
+func resolveE8(rc RunContext) (e8Knobs, map[string]string, error) {
+	k := e8Knobs{
+		ns: []int{4, 7, 10}, ks: []int{1, 2, 4, 8}, payloadsKB: []int{1, 16},
+		copN: 4, requests: 80, warmup: 10, window: 8, clients: 2, batch: 8,
+	}
+	if rc.Quick {
+		k.ns, k.ks, k.payloadsKB = []int{4, 7}, []int{1, 2}, []int{1}
+		k.requests, k.warmup = 30, 5
+	}
+	var err error
+	if k.ns, err = rc.intsKnob("ns", k.ns); err != nil {
+		return k, nil, err
+	}
+	if k.ks, err = rc.intsKnob("ks", k.ks); err != nil {
+		return k, nil, err
+	}
+	if k.payloadsKB, err = rc.intsKnob("payloads_kb", k.payloadsKB); err != nil {
+		return k, nil, err
+	}
+	if k.copN, err = rc.intKnob("cop_n", k.copN); err != nil {
+		return k, nil, err
+	}
+	if k.requests, err = rc.intKnob("requests", k.requests); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	if k.clients, err = rc.intKnob("clients", k.clients); err != nil {
+		return k, nil, err
+	}
+	if k.batch, err = rc.intKnob("batch", k.batch); err != nil {
+		return k, nil, err
+	}
+	for _, n := range k.ns {
+		if n < 4 {
+			return k, nil, fmt.Errorf("bench: E8 needs N >= 4 (3f+1), got %d", n)
+		}
+	}
+	if k.copN < 4 {
+		return k, nil, fmt.Errorf("bench: E8 needs cop_n >= 4 (3f+1), got %d", k.copN)
+	}
+	cfg := map[string]string{
+		"ns":          formatInts(k.ns),
+		"ks":          formatInts(k.ks),
+		"payloads_kb": formatInts(k.payloadsKB),
+		"cop_n":       strconv.Itoa(k.copN),
+		"requests":    strconv.Itoa(k.requests),
+		"warmup":      strconv.Itoa(k.warmup),
+		"window":      strconv.Itoa(k.window),
+		"clients":     strconv.Itoa(k.clients),
+		"batch":       strconv.Itoa(k.batch),
+	}
+	return k, cfg, nil
+}
+
+// e8Transports are the two backends every E8 sweep runs on.
+var e8Transports = []transport.Kind{transport.KindRDMA, transport.KindTCP}
+
+// e8Label shortens the backend name for series labels.
+func e8Label(kind transport.Kind) string {
+	if kind == transport.KindRDMA {
+		return "RUBIN"
+	}
+	return "NIO"
+}
+
+func runE8(rc RunContext, res *metrics.Result) error {
+	k, _, err := resolveE8(rc)
+	if err != nil {
+		return err
+	}
+	// Axis 1: PBFT agreement vs cluster size (f scales with N).
+	for _, kind := range e8Transports {
+		for _, kb := range k.payloadsKB {
+			name := fmt.Sprintf("PBFT %s %dKB", e8Label(kind), kb)
+			mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "replicas")
+			p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "replicas")
+			tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "replicas")
+			for _, n := range k.ns {
+				cfg := BFTConfig{
+					Kind: kind, Payload: kb << 10,
+					Requests: k.requests, Warmup: k.warmup, Window: k.window,
+					Batch: k.batch, N: n, F: (n - 1) / 3, Clients: k.clients,
+					Seed: rc.Seed,
+				}
+				r, err := RunBFT(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("PBFT N=%d %s %dKB: %w", n, kind, kb, err)
+				}
+				mean.Add(float64(n), r.MeanLat.Micros())
+				p99.Add(float64(n), r.P99Lat.Micros())
+				tput.Add(float64(n), r.Throughput)
+			}
+		}
+	}
+	// Axis 2: Reptor COP ordering vs instance count on a fixed group.
+	for _, kind := range e8Transports {
+		for _, kb := range k.payloadsKB {
+			name := fmt.Sprintf("COP %s %dKB", e8Label(kind), kb)
+			mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "instances")
+			p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "instances")
+			tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "instances")
+			for _, ki := range k.ks {
+				cfg := COPConfig{
+					Kind: kind, Instances: ki, Payload: kb << 10,
+					Requests: k.requests, Warmup: k.warmup, Window: k.window,
+					Batch: k.batch, N: k.copN, F: (k.copN - 1) / 3, Clients: k.clients,
+					Seed: rc.Seed,
+				}
+				r, err := RunCOP(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("COP K=%d %s %dKB: %w", ki, kind, kb, err)
+				}
+				mean.Add(float64(ki), r.MeanLat.Micros())
+				p99.Add(float64(ki), r.P99Lat.Micros())
+				tput.Add(float64(ki), r.Throughput)
+			}
+		}
+	}
+	return nil
+}

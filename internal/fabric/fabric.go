@@ -7,6 +7,12 @@
 // handler registered at the destination node. The TCP and RDMA stacks on
 // top charge their own CPU/NIC costs before and after using the wire, which
 // keeps the comparison between stacks honest: both see the same link.
+//
+// Links additionally carry the per-link fault state the chaos subsystem
+// drives (LinkFaults: loss, added latency, jitter, down). A downed link
+// holds frames and releases them in their original order on heal — a
+// partition is modeled as an unbounded message delay, never as loss — so
+// the loss-free simulated transports survive partition/heal cycles intact.
 package fabric
 
 import (

@@ -1,7 +1,16 @@
-// Package metrics provides latency and throughput instrumentation for the
-// simulated experiments: recorders collect per-operation virtual-time
-// samples, and Series/Table format the sweep results the way the paper's
-// figures report them.
+// Package metrics provides measurement instrumentation and result
+// formats for the simulated experiments.
+//
+// Three layers build on each other. Recorder and Counter collect raw
+// per-operation virtual-time samples and event counts while a simulation
+// runs. Series and Table shape samples into the sweep curves the paper's
+// figures plot, rendered as aligned text tables. Result is the
+// machine-readable counterpart: a schema-versioned, deterministic JSON
+// document (one BENCH_<experiment>.json per run) carrying per-series
+// points with explicit units, the effective configuration echo and the
+// seed, so benchmark trajectories can be validated, stored and diffed
+// across commits (Compare/RenderDeltas implement the -compare output of
+// cmd/benchsuite).
 package metrics
 
 import (
@@ -139,8 +148,8 @@ func Throughput(ops int, elapsed sim.Time) float64 {
 
 // Point is one (x, y) sample of a sweep series.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is a named curve of a figure, e.g. "TCP" latency vs payload.

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the layout of a BENCH_*.json file. Bump it
+// whenever a field is added, removed or changes meaning; -compare refuses
+// to diff files with mismatched schemas.
+const SchemaVersion = "rubin-bench/1"
+
+// Well-known metric names. A ResultSeries may use other names, but the
+// experiments in this repository stick to these so -compare can match
+// series across runs.
+const (
+	MetricLatencyMean = "latency_mean" // unit: us
+	MetricLatencyP99  = "latency_p99"  // unit: us
+	MetricThroughput  = "throughput"   // unit: req/s (or krps where noted)
+	MetricCommits     = "commits"      // unit: count
+	MetricSendFaults  = "send_faults"  // unit: count
+)
+
+// ResultSeries is one named curve of an experiment result: points share an
+// X axis (x_label) and a Y metric with an explicit unit. Transport names
+// the backend the series ran on, when one applies.
+type ResultSeries struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Unit      string  `json:"unit"`
+	Transport string  `json:"transport,omitempty"`
+	XLabel    string  `json:"x_label"`
+	Points    []Point `json:"points"`
+}
+
+// Add appends one (x, y) sample.
+func (s *ResultSeries) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// At returns the Y value at the given X, or NaN if absent.
+func (s *ResultSeries) At(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Result is the machine-readable outcome of one experiment run — the
+// content of a BENCH_<experiment>.json file. Config echoes every knob the
+// run was configured with (flattened to strings so the echo marshals
+// deterministically: encoding/json sorts map keys), and Series carries the
+// measured curves. Two runs with identical seed and config marshal to
+// byte-identical JSON.
+type Result struct {
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Figure     string            `json:"figure"`
+	Seed       int64             `json:"seed"`
+	Quick      bool              `json:"quick"`
+	Config     map[string]string `json:"config"`
+	Series     []*ResultSeries   `json:"series"`
+	// Notes carries free-form per-run annotations that are outputs rather
+	// than curves — e.g. E7's deterministic fault traces. Optional.
+	Notes map[string]string `json:"notes,omitempty"`
+}
+
+// NewResult returns an empty result carrying the experiment identity.
+func NewResult(experiment, title, figure string, seed int64, quick bool) *Result {
+	return &Result{
+		Schema:     SchemaVersion,
+		Experiment: experiment,
+		Title:      title,
+		Figure:     figure,
+		Seed:       seed,
+		Quick:      quick,
+		Config:     map[string]string{},
+	}
+}
+
+// SetConfig records one knob of the run's effective configuration.
+func (r *Result) SetConfig(key, value string) { r.Config[key] = value }
+
+// SetNote records one free-form output annotation.
+func (r *Result) SetNote(key, value string) {
+	if r.Notes == nil {
+		r.Notes = map[string]string{}
+	}
+	r.Notes[key] = value
+}
+
+// AddSeries appends a new series and returns it.
+func (r *Result) AddSeries(name, metric, unit, transport, xLabel string) *ResultSeries {
+	s := &ResultSeries{Name: name, Metric: metric, Unit: unit, Transport: transport, XLabel: xLabel}
+	r.Series = append(r.Series, s)
+	return s
+}
+
+// GetSeries returns the series with the given name and metric, or nil.
+func (r *Result) GetSeries(name, metric string) *ResultSeries {
+	for _, s := range r.Series {
+		if s.Name == name && s.Metric == metric {
+			return s
+		}
+	}
+	return nil
+}
+
+var experimentNameRE = regexp.MustCompile(`^E[0-9]+$`)
+
+// Validate checks the result against the documented schema (see
+// docs/EXPERIMENTS.md): version match, well-formed experiment name,
+// non-empty labels and units, at least one series, no duplicate
+// (name, metric) pair, and finite point values throughout.
+func (r *Result) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("metrics: schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if !experimentNameRE.MatchString(r.Experiment) {
+		return fmt.Errorf("metrics: bad experiment name %q", r.Experiment)
+	}
+	if r.Title == "" {
+		return fmt.Errorf("metrics: %s: empty title", r.Experiment)
+	}
+	if r.Figure == "" {
+		return fmt.Errorf("metrics: %s: empty figure", r.Experiment)
+	}
+	if r.Config == nil {
+		return fmt.Errorf("metrics: %s: missing config echo", r.Experiment)
+	}
+	if len(r.Series) == 0 {
+		return fmt.Errorf("metrics: %s: no series", r.Experiment)
+	}
+	seen := map[string]bool{}
+	for _, s := range r.Series {
+		if s.Name == "" || s.Metric == "" || s.Unit == "" || s.XLabel == "" {
+			return fmt.Errorf("metrics: %s: series %+v missing name/metric/unit/x_label", r.Experiment, s)
+		}
+		key := s.Name + "\x00" + s.Metric
+		if seen[key] {
+			return fmt.Errorf("metrics: %s: duplicate series (%s, %s)", r.Experiment, s.Name, s.Metric)
+		}
+		seen[key] = true
+		if len(s.Points) == 0 {
+			return fmt.Errorf("metrics: %s: series (%s, %s) has no points", r.Experiment, s.Name, s.Metric)
+		}
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				return fmt.Errorf("metrics: %s: series (%s, %s) has non-finite point (%v, %v)",
+					r.Experiment, s.Name, s.Metric, p.X, p.Y)
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal renders the result as indented JSON with a trailing newline.
+// The encoding is deterministic: struct fields keep declaration order and
+// encoding/json sorts the Config map keys, so identical results produce
+// byte-identical files.
+func (r *Result) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseResult decodes and validates one BENCH_*.json payload.
+func ParseResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("metrics: decoding result: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ResultFilename returns the canonical file name for an experiment's
+// result, BENCH_<experiment>.json.
+func ResultFilename(experiment string) string {
+	return fmt.Sprintf("BENCH_%s.json", experiment)
+}
+
+// WriteFile validates the result and writes it to dir under its canonical
+// name, returning the full path.
+func (r *Result) WriteFile(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	b, err := r.Marshal()
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + ResultFilename(r.Experiment)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadResultFile loads and validates one BENCH_*.json file.
+func ReadResultFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ParseResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Tables renders the result as human-readable text tables, one per
+// distinct (metric, x-axis) pair in series order — the presentation the
+// cmd/ binaries print alongside the JSON. Series measuring the same
+// metric over different x-axes (e.g. E8's replica and instance sweeps)
+// land in separate tables rather than being interleaved on one axis.
+func (r *Result) Tables() []*Table {
+	var order []string
+	byAxis := map[string]*Table{}
+	for _, s := range r.Series {
+		key := s.Metric + "\x00" + s.XLabel
+		tab, ok := byAxis[key]
+		if !ok {
+			tab = NewTable(fmt.Sprintf("%s — %s: %s by %s", r.Experiment, r.Title, s.Metric, s.XLabel),
+				s.XLabel, s.Unit)
+			byAxis[key] = tab
+			order = append(order, key)
+		}
+		ts := tab.AddSeries(s.Name)
+		ts.Points = append(ts.Points, s.Points...)
+	}
+	tables := make([]*Table, 0, len(order))
+	for _, key := range order {
+		tables = append(tables, byAxis[key])
+	}
+	return tables
+}
+
+// Delta is one point-wise regression comparison between two runs of the
+// same experiment: Pct is the relative change (new-old)/old in percent.
+type Delta struct {
+	Series string
+	Metric string
+	Unit   string
+	X      float64
+	Old    float64
+	New    float64
+	Pct    float64
+}
+
+// Compare matches series of two results by (name, metric) and points by X,
+// returning point-wise deltas. Series or points present on one side only
+// are skipped — the comparison reports drift of the overlap, not coverage.
+// The results must be the same experiment and schema.
+func Compare(old, new *Result) ([]Delta, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("metrics: comparing schema %q against %q", new.Schema, old.Schema)
+	}
+	if old.Experiment != new.Experiment {
+		return nil, fmt.Errorf("metrics: comparing experiment %s against %s", new.Experiment, old.Experiment)
+	}
+	var deltas []Delta
+	for _, ns := range new.Series {
+		os := old.GetSeries(ns.Name, ns.Metric)
+		if os == nil {
+			continue
+		}
+		for _, p := range ns.Points {
+			oldY := os.At(p.X)
+			if math.IsNaN(oldY) {
+				continue
+			}
+			pct := 0.0
+			if oldY != 0 {
+				pct = (p.Y - oldY) / oldY * 100
+			}
+			deltas = append(deltas, Delta{
+				Series: ns.Name, Metric: ns.Metric, Unit: ns.Unit,
+				X: p.X, Old: oldY, New: p.Y, Pct: pct,
+			})
+		}
+	}
+	return deltas, nil
+}
+
+// RenderDeltas formats a comparison as an aligned text table, sorted by
+// absolute relative change (largest drift first).
+func RenderDeltas(deltas []Delta) string {
+	sorted := make([]Delta, len(deltas))
+	copy(sorted, deltas)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return math.Abs(sorted[i].Pct) > math.Abs(sorted[j].Pct)
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %-14s %8s %14s %14s %9s\n", "series", "metric", "x", "old", "new", "delta")
+	for _, d := range sorted {
+		fmt.Fprintf(&b, "%-32s %-14s %8.0f %14.2f %14.2f %+8.1f%%\n",
+			d.Series, d.Metric, d.X, d.Old, d.New, d.Pct)
+	}
+	return b.String()
+}

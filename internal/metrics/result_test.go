@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	r := NewResult("E5", "BFT agreement", "paper future work", 1, false)
+	r.SetConfig("payloads_kb", "1,4")
+	r.SetConfig("n", "4")
+	s := r.AddSeries("Reptor+RUBIN", MetricLatencyMean, "us", "rdma-rubin", "payload_kb")
+	s.Add(1, 123.25)
+	s.Add(4, 150.5)
+	t := r.AddSeries("Reptor+RUBIN", MetricThroughput, "req/s", "rdma-rubin", "payload_kb")
+	t.Add(1, 9000)
+	t.Add(4, 7000)
+	return r
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult()
+	b, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", r, got)
+	}
+	b2, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("re-marshal not byte-identical:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestResultValidate(t *testing.T) {
+	mutations := map[string]func(*Result){
+		"bad schema":       func(r *Result) { r.Schema = "rubin-bench/0" },
+		"bad name":         func(r *Result) { r.Experiment = "fig3" },
+		"empty title":      func(r *Result) { r.Title = "" },
+		"empty figure":     func(r *Result) { r.Figure = "" },
+		"nil config":       func(r *Result) { r.Config = nil },
+		"no series":        func(r *Result) { r.Series = nil },
+		"empty unit":       func(r *Result) { r.Series[0].Unit = "" },
+		"empty xlabel":     func(r *Result) { r.Series[0].XLabel = "" },
+		"no points":        func(r *Result) { r.Series[0].Points = nil },
+		"NaN point":        func(r *Result) { r.Series[0].Points[0].Y = math.NaN() },
+		"Inf point":        func(r *Result) { r.Series[0].Points[1].X = math.Inf(1) },
+		"duplicate series": func(r *Result) { r.Series[1].Metric = r.Series[0].Metric },
+	}
+	if err := sampleResult().Validate(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+	for name, mutate := range mutations {
+		r := sampleResult()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid result", name)
+		}
+	}
+}
+
+func TestResultWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleResult()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_E5.json" {
+		t.Fatalf("wrote %s, want BENCH_E5.json", path)
+	}
+	got, err := ReadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("file round trip mismatch")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := sampleResult()
+	cur := sampleResult()
+	cur.Series[0].Points[0].Y = 246.5 // latency at 1KB doubled
+	deltas, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(deltas))
+	}
+	var worst Delta
+	for _, d := range deltas {
+		if math.Abs(d.Pct) > math.Abs(worst.Pct) {
+			worst = d
+		}
+	}
+	if worst.Metric != MetricLatencyMean || worst.X != 1 || math.Abs(worst.Pct-100) > 1e-9 {
+		t.Fatalf("worst delta = %+v, want +100%% latency at x=1", worst)
+	}
+	out := RenderDeltas(deltas)
+	if !strings.Contains(out, "+100.0%") {
+		t.Fatalf("rendered deltas missing +100.0%%:\n%s", out)
+	}
+	// Mismatched experiments refuse to compare.
+	other := sampleResult()
+	other.Experiment = "E6"
+	if _, err := Compare(old, other); err == nil {
+		t.Fatal("Compare accepted mismatched experiments")
+	}
+}
+
+func TestResultTables(t *testing.T) {
+	tabs := sampleResult().Tables()
+	if len(tabs) != 2 {
+		t.Fatalf("got %d tables, want 2 (one per metric)", len(tabs))
+	}
+	if got := tabs[0].Get("Reptor+RUBIN").At(4); got != 150.5 {
+		t.Fatalf("latency table at 4KB = %v, want 150.5", got)
+	}
+	if !strings.Contains(tabs[1].Render(), "req/s") {
+		t.Fatalf("throughput table missing unit:\n%s", tabs[1].Render())
+	}
+}
