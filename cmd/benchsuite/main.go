@@ -59,6 +59,7 @@ func main() {
 	compare := flag.String("compare", "", "previous run to diff against: a BENCH_*.json file or a directory of them")
 	validate := flag.String("validate", "", "validate every BENCH_*.json in this directory against the schema, then exit")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	listKnobs := flag.Bool("knobs", false, "list each experiment's accepted knobs with effective defaults and exit")
 	tables := flag.Bool("tables", true, "print human-readable tables alongside the JSON")
 	knobs := knobFlags{}
 	flag.Var(knobs, "knob", "experiment knob override, name=value (repeatable)")
@@ -67,6 +68,26 @@ func main() {
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-4s %-70s [%s]\n", e.Name, e.Title, e.Figure)
+		}
+		return
+	}
+	if *listKnobs {
+		rc := bench.DefaultRunContext()
+		rc.Quick = *quick
+		for _, e := range bench.Experiments() {
+			cfg, err := e.Params(rc)
+			if err != nil {
+				fatal(err)
+			}
+			names := make([]string, 0, len(cfg))
+			for k := range cfg {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			fmt.Printf("%s:\n", e.Name)
+			for _, k := range names {
+				fmt.Printf("  -knob %s=%s\n", k, cfg[k])
+			}
 		}
 		return
 	}

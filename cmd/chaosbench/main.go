@@ -22,10 +22,12 @@ func main() {
 	payload := flag.Int("payload", 0, "request payload size in bytes (default 512)")
 	window := flag.Int("window", 0, "client-side outstanding requests (default 16)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "registry quick mode (window 8 — the once-wedging configuration CI pins)")
 	flag.Parse()
 
 	rc := bench.DefaultRunContext()
 	rc.Seed = *seed
+	rc.Quick = *quick
 	rc.Knobs = map[string]string{}
 	if *payload > 0 {
 		rc.Knobs["payload"] = strconv.Itoa(*payload)

@@ -48,6 +48,38 @@ func TestChaosLivenessAcrossTimeline(t *testing.T) {
 	}
 }
 
+// TestChaosWindow8Regression is the deterministic repro of the window-8
+// wedge: at exactly this offered load on the NIO backend, the partition
+// phase used to leave TWO replicas lagging together behind the other two.
+// No new checkpoint could then be certified (the 2F+1 certificate needs
+// the laggards' own votes), the log window filled at stable+LogWindow,
+// and state transfer never triggered because its trigger demanded a full
+// quorum certificate — zero commits in the healed phase while view
+// changes spun forever. Fixed by (1) triggering the fetch on F+1 matching
+// checkpoint votes, (2) serving the newest retained (not just stable)
+// checkpoint, and (3) having an adopter broadcast the adopted checkpoint
+// so the stalled certificate completes. This test pins the fix at the
+// exact wedging configuration on both backends.
+func TestChaosWindow8Regression(t *testing.T) {
+	for _, kind := range []transport.Kind{transport.KindRDMA, transport.KindTCP} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultChaosConfig(kind)
+			cfg.Window = 8
+			res, err := RunChaos(cfg, model.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range res.Phases {
+				if p.Committed == 0 {
+					t.Errorf("phase %q committed nothing (window-8 wedge is back):\n%s",
+						p.Name, res.Render())
+				}
+			}
+		})
+	}
+}
+
 // TestChaosDeterministic asserts E7 reproduces byte-identical per-phase
 // numbers and fault traces for a fixed seed.
 func TestChaosDeterministic(t *testing.T) {

@@ -27,6 +27,10 @@ type COPConfig struct {
 	N, F      int
 	Clients   int // closed-loop clients (0 means 1)
 	Seed      int64
+	// HeartbeatDelay/HeartbeatMax tune the executor's adaptive
+	// hole-filling heartbeat (zero keeps the reptor defaults).
+	HeartbeatDelay sim.Time
+	HeartbeatMax   sim.Time
 }
 
 // DefaultCOPConfig returns the 4-replica, 4-instance, single-client setup.
@@ -52,6 +56,21 @@ type COPResult struct {
 	P99Lat      sim.Time
 	Throughput  float64 // requests per second across all clients
 	MergedSlots uint64  // global slots merged by node 0's executor
+	// Heartbeat cost of the merge, summed across every node's executor
+	// (a fill is proposed by whichever node leads the lagging instance,
+	// so per-node counters are a K-dependent sample): fills fired and
+	// empty slots they requested (batched fills request several slots
+	// per round).
+	HeartbeatRounds uint64
+	HeartbeatSlots  uint64
+	// Backlog is committed-but-unmerged batches left at the end across
+	// all nodes — non-zero means some executor stalled behind the
+	// agreement.
+	Backlog int
+	// LeaderCPU is the highest CPU utilization across replica nodes —
+	// the saturation signal that decides whether parallelizing the
+	// ordering stage can pay off at all.
+	LeaderCPU float64
 }
 
 // RunCOP measures ordering latency and throughput of a Reptor COP group
@@ -68,6 +87,12 @@ func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
 	gcfg.Instances = cfg.Instances
 	gcfg.PBFT.N, gcfg.PBFT.F = cfg.N, cfg.F
 	gcfg.PBFT.BatchSize = cfg.Batch
+	if cfg.HeartbeatDelay > 0 {
+		gcfg.HeartbeatDelay = cfg.HeartbeatDelay
+	}
+	if cfg.HeartbeatMax > 0 {
+		gcfg.HeartbeatMax = cfg.HeartbeatMax
+	}
 	group, err := reptor.NewGroup(cfg.Kind, gcfg, params, cfg.Seed,
 		func(int) pbft.Application { return kvstore.New() })
 	if err != nil {
@@ -92,14 +117,31 @@ func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
 	if want := (cfg.Requests + cfg.Warmup) * clients; res.done != want {
 		return COPResult{}, fmt.Errorf("bench: COP completed %d of %d requests", res.done, want)
 	}
+	var maxCPU float64
+	for i := 0; i < cfg.N; i++ {
+		if u := group.Network.Node(fmt.Sprintf("r%d", i)).CPU.Utilization(); u > maxCPU {
+			maxCPU = u
+		}
+	}
+	var hbRounds, hbSlots uint64
+	backlog := 0
+	for _, ex := range group.Executors {
+		hbRounds += ex.HeartbeatRounds()
+		hbSlots += ex.HeartbeatSlots()
+		backlog += ex.Backlog()
+	}
 	return COPResult{
-		Kind:        cfg.Kind,
-		Instances:   cfg.Instances,
-		Payload:     cfg.Payload,
-		MeanLat:     res.rec.Mean(),
-		P99Lat:      res.rec.Percentile(99),
-		Throughput:  metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
-		MergedSlots: group.Executors[0].MergedSlots(),
+		Kind:            cfg.Kind,
+		Instances:       cfg.Instances,
+		Payload:         cfg.Payload,
+		MeanLat:         res.rec.Mean(),
+		P99Lat:          res.rec.Percentile(99),
+		Throughput:      metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
+		MergedSlots:     group.Executors[0].MergedSlots(),
+		HeartbeatRounds: hbRounds,
+		HeartbeatSlots:  hbSlots,
+		Backlog:         backlog,
+		LeaderCPU:       maxCPU,
 	}, nil
 }
 
@@ -122,25 +164,31 @@ func init() {
 
 // e8Knobs are the resolved parameters of one E8 run.
 type e8Knobs struct {
-	ns         []int // PBFT cluster sizes; f = (n-1)/3 each
-	ks         []int // COP instance counts on the copN-replica group
-	payloadsKB []int
-	copN       int
-	requests   int
-	warmup     int
-	window     int
-	clients    int
-	batch      int
+	ns            []int // PBFT cluster sizes; f = (n-1)/3 each
+	ks            []int // COP instance counts on the copN-replica group
+	payloadsKB    []int // PBFT-axis payload sweep
+	copPayloadsKB []int // COP-axis payload sweep (largest shows the crossover)
+	copN          int
+	requests      int
+	warmup        int
+	window        int
+	clients       int
+	batch         int
+	hbUS          int // adaptive heartbeat floor, µs
+	hbMaxUS       int // adaptive heartbeat backoff ceiling, µs
 }
 
 func resolveE8(rc RunContext) (e8Knobs, map[string]string, error) {
 	k := e8Knobs{
-		ns: []int{4, 7, 10}, ks: []int{1, 2, 4, 8}, payloadsKB: []int{1, 16},
-		copN: 4, requests: 80, warmup: 10, window: 8, clients: 2, batch: 8,
+		ns: []int{4, 7, 10}, ks: []int{1, 2, 4, 8},
+		payloadsKB: []int{1, 16}, copPayloadsKB: []int{1, 16, 64},
+		copN: 4, requests: 80, warmup: 10, window: 16, clients: 4, batch: 8,
+		hbUS: 100, hbMaxUS: 4000,
 	}
 	if rc.Quick {
-		k.ns, k.ks, k.payloadsKB = []int{4, 7}, []int{1, 2}, []int{1}
-		k.requests, k.warmup = 30, 5
+		k.ns, k.ks = []int{4, 7}, []int{1, 2}
+		k.payloadsKB, k.copPayloadsKB = []int{1}, []int{1}
+		k.requests, k.warmup, k.clients = 30, 5, 2
 	}
 	var err error
 	if k.ns, err = rc.intsKnob("ns", k.ns); err != nil {
@@ -150,6 +198,9 @@ func resolveE8(rc RunContext) (e8Knobs, map[string]string, error) {
 		return k, nil, err
 	}
 	if k.payloadsKB, err = rc.intsKnob("payloads_kb", k.payloadsKB); err != nil {
+		return k, nil, err
+	}
+	if k.copPayloadsKB, err = rc.intsKnob("cop_payloads_kb", k.copPayloadsKB); err != nil {
 		return k, nil, err
 	}
 	if k.copN, err = rc.intKnob("cop_n", k.copN); err != nil {
@@ -170,6 +221,12 @@ func resolveE8(rc RunContext) (e8Knobs, map[string]string, error) {
 	if k.batch, err = rc.intKnob("batch", k.batch); err != nil {
 		return k, nil, err
 	}
+	if k.hbUS, err = rc.intKnob("hb_us", k.hbUS); err != nil {
+		return k, nil, err
+	}
+	if k.hbMaxUS, err = rc.intKnob("hb_max_us", k.hbMaxUS); err != nil {
+		return k, nil, err
+	}
 	for _, n := range k.ns {
 		if n < 4 {
 			return k, nil, fmt.Errorf("bench: E8 needs N >= 4 (3f+1), got %d", n)
@@ -178,16 +235,22 @@ func resolveE8(rc RunContext) (e8Knobs, map[string]string, error) {
 	if k.copN < 4 {
 		return k, nil, fmt.Errorf("bench: E8 needs cop_n >= 4 (3f+1), got %d", k.copN)
 	}
+	if k.hbUS < 1 || k.hbMaxUS < k.hbUS {
+		return k, nil, fmt.Errorf("bench: E8 needs 1 <= hb_us <= hb_max_us, got %d/%d", k.hbUS, k.hbMaxUS)
+	}
 	cfg := map[string]string{
-		"ns":          formatInts(k.ns),
-		"ks":          formatInts(k.ks),
-		"payloads_kb": formatInts(k.payloadsKB),
-		"cop_n":       strconv.Itoa(k.copN),
-		"requests":    strconv.Itoa(k.requests),
-		"warmup":      strconv.Itoa(k.warmup),
-		"window":      strconv.Itoa(k.window),
-		"clients":     strconv.Itoa(k.clients),
-		"batch":       strconv.Itoa(k.batch),
+		"ns":              formatInts(k.ns),
+		"ks":              formatInts(k.ks),
+		"payloads_kb":     formatInts(k.payloadsKB),
+		"cop_payloads_kb": formatInts(k.copPayloadsKB),
+		"cop_n":           strconv.Itoa(k.copN),
+		"requests":        strconv.Itoa(k.requests),
+		"warmup":          strconv.Itoa(k.warmup),
+		"window":          strconv.Itoa(k.window),
+		"clients":         strconv.Itoa(k.clients),
+		"batch":           strconv.Itoa(k.batch),
+		"hb_us":           strconv.Itoa(k.hbUS),
+		"hb_max_us":       strconv.Itoa(k.hbMaxUS),
 	}
 	return k, cfg, nil
 }
@@ -232,27 +295,41 @@ func runE8(rc RunContext, res *metrics.Result) error {
 			}
 		}
 	}
-	// Axis 2: Reptor COP ordering vs instance count on a fixed group.
+	// Axis 2: Reptor COP ordering vs instance count on a fixed group. The
+	// per-K heartbeat and CPU series document *why* the throughput curve
+	// bends: K parallel leaders split the ordering CPU, while the
+	// adaptive/batched heartbeat keeps the merge's hole-filling cost from
+	// growing with K.
 	for _, kind := range e8Transports {
-		for _, kb := range k.payloadsKB {
+		for _, kb := range k.copPayloadsKB {
 			name := fmt.Sprintf("COP %s %dKB", e8Label(kind), kb)
 			mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "instances")
 			p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "instances")
 			tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "instances")
+			hb := res.AddSeries(name, "heartbeat_slots", "count", string(kind), "instances")
+			cpu := res.AddSeries(name, "leader_cpu", "utilization", string(kind), "instances")
 			for _, ki := range k.ks {
 				cfg := COPConfig{
 					Kind: kind, Instances: ki, Payload: kb << 10,
 					Requests: k.requests, Warmup: k.warmup, Window: k.window,
 					Batch: k.batch, N: k.copN, F: (k.copN - 1) / 3, Clients: k.clients,
-					Seed: rc.Seed,
+					Seed:           rc.Seed,
+					HeartbeatDelay: sim.Time(k.hbUS) * sim.Microsecond,
+					HeartbeatMax:   sim.Time(k.hbMaxUS) * sim.Microsecond,
 				}
 				r, err := RunCOP(cfg, rc.Model)
 				if err != nil {
 					return fmt.Errorf("COP K=%d %s %dKB: %w", ki, kind, kb, err)
 				}
+				if r.Backlog != 0 {
+					return fmt.Errorf("COP K=%d %s %dKB: executor stalled with %d committed-but-unmerged batches",
+						ki, kind, kb, r.Backlog)
+				}
 				mean.Add(float64(ki), r.MeanLat.Micros())
 				p99.Add(float64(ki), r.P99Lat.Micros())
 				tput.Add(float64(ki), r.Throughput)
+				hb.Add(float64(ki), float64(r.HeartbeatSlots))
+				cpu.Add(float64(ki), r.LeaderCPU)
 			}
 		}
 	}

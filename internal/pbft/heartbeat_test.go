@@ -1,0 +1,65 @@
+package pbft
+
+import (
+	"testing"
+
+	"rubin/internal/transport"
+)
+
+// TestRangedHeartbeatFillsRun asserts one ProposeHeartbeat call covers a
+// contiguous run of empty sequences: all slots up to upTo are proposed
+// back-to-back, agreed in one pipelined wave, and executed everywhere.
+func TestRangedHeartbeatFillsRun(t *testing.T) {
+	c := newTestCluster(t, transport.KindRDMA, DefaultConfig())
+	leader := c.Replicas[0]
+	const upTo = 5
+	var proposed int
+	c.Loop.Post(func() { proposed = leader.ProposeHeartbeat(upTo) })
+	c.Loop.Run()
+	if proposed != upTo {
+		t.Fatalf("proposed %d slots, want %d", proposed, upTo)
+	}
+	for i, rep := range c.Replicas {
+		if rep.Executed() != upTo {
+			t.Errorf("replica %d executed %d, want %d", i, rep.Executed(), upTo)
+		}
+	}
+	// A second call with the same bound is a no-op: the sequences are
+	// already assigned, so no new agreement is minted.
+	var again int
+	c.Loop.Post(func() { again = leader.ProposeHeartbeat(upTo) })
+	c.Loop.Run()
+	if again != 0 {
+		t.Errorf("repeat call proposed %d slots, want 0", again)
+	}
+}
+
+// TestRangedHeartbeatRespectsWindow asserts the fill stops at the
+// watermark window instead of minting sequences no replica would accept.
+func TestRangedHeartbeatRespectsWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 4
+	cfg.LogWindow = 8
+	c := newTestCluster(t, transport.KindRDMA, cfg)
+	leader := c.Replicas[0]
+	var proposed int
+	c.Loop.Post(func() { proposed = leader.ProposeHeartbeat(1000) })
+	c.Loop.Run()
+	// The fill may ride the advancing checkpoint (each 4 executions move
+	// the stable point and reopen the window on later calls), but a
+	// single call must never propose beyond stable+LogWindow at the time
+	// of each proposal.
+	if proposed > int(cfg.LogWindow) {
+		t.Fatalf("one call proposed %d slots, beyond the %d-slot window", proposed, cfg.LogWindow)
+	}
+	if leader.Executed() == 0 {
+		t.Fatal("windowed fill executed nothing")
+	}
+	// Non-leaders refuse to propose heartbeats.
+	var backup int
+	c.Loop.Post(func() { backup = c.Replicas[1].ProposeHeartbeat(1000) })
+	c.Loop.Run()
+	if backup != 0 {
+		t.Errorf("backup proposed %d heartbeat slots, want 0", backup)
+	}
+}

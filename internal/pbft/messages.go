@@ -455,5 +455,8 @@ func DecodeEnvelope(raw []byte) (Envelope, error) {
 	if d.err != nil {
 		return Envelope{}, d.err
 	}
+	if len(d.buf) != 0 {
+		return Envelope{}, fmt.Errorf("pbft: %d trailing envelope bytes", len(d.buf))
+	}
 	return env, nil
 }

@@ -172,10 +172,11 @@ type Replica struct {
 	vcVotes      map[uint64]map[uint32]ViewChange
 
 	// Stats and hooks.
-	committedCount uint64
-	execBatches    uint64
-	onExecute      func(seq uint64, batch []Request)
-	onViewChange   func(newView uint64)
+	committedCount    uint64
+	execBatches       uint64
+	onExecute         func(seq uint64, batch []Request)
+	onViewChange      func(newView uint64)
+	onCheckpointAdopt func(seq uint64)
 
 	// sendFaults counts every surfaced delivery failure on this
 	// replica's outbound traffic — nothing is silently discarded.
@@ -256,6 +257,15 @@ func (r *Replica) OnExecute(fn func(seq uint64, batch []Request)) { r.onExecute 
 
 // OnViewChange installs a hook invoked when a new view is installed.
 func (r *Replica) OnViewChange(fn func(uint64)) { r.onViewChange = fn }
+
+// OnCheckpointAdopt installs a hook invoked when a state transfer
+// fast-forwards execution to an adopted checkpoint. The sequences up to
+// seq were NOT delivered through OnExecute — their batches are folded
+// into the adopted application state and their contents are not
+// recoverable here. Consumers that derive an order from OnExecute (the
+// Reptor executor) must account for the jump or they will wait forever
+// for deliveries that can no longer happen.
+func (r *Replica) OnCheckpointAdopt(fn func(seq uint64)) { r.onCheckpointAdopt = fn }
 
 // Leader returns the leader replica of a view.
 func (r *Replica) Leader(view uint64) uint32 { return uint32(view % uint64(r.cfg.N)) }
@@ -565,7 +575,17 @@ func (r *Replica) proposeBatch() {
 	r.seqNext++
 	seq := r.seqNext
 
-	p := r.node.Network().Params().Crypto
+	params := r.node.Network().Params()
+	// Ordering is leader work: validating, bookkeeping and marshalling
+	// every request of the batch into the proposal burns leader CPU.
+	// The proposal leaves only after the host CPU has actually served
+	// that work, so a saturated leader delays its own pipeline — the
+	// single-pipeline bottleneck COP spreads across K leaders.
+	var order sim.Time
+	for _, req := range batch {
+		order += params.Protocol.OrderCost(len(req.Op))
+	}
+	p := params.Crypto
 	d := BatchDigest(batch)
 	r.crypto(auth.DigestCost(p, len(Encode(PrePrepare{Batch: batch}))))
 
@@ -573,38 +593,52 @@ func (r *Replica) proposeBatch() {
 	s := r.slotFor(seq)
 	s.view = r.view
 	s.pp = &pp
-	r.broadcast(pp)
-	r.tryPrepare(seq)
+	r.node.CPU.Acquire(order, func() {
+		// A view change while the proposal was being marshalled makes it
+		// stale: the requests stay in requestStore and the new leader
+		// re-proposes them.
+		if r.stopped || r.viewChanging || r.view != pp.View {
+			return
+		}
+		r.broadcast(pp)
+		r.tryPrepare(seq)
+	})
 	if len(r.pending) > 0 {
 		r.node.Loop().Post(r.proposeBatch)
 	}
 }
 
-// ProposeHeartbeat makes a leader propose an empty batch, advancing the
-// instance's sequence without ordering any request, but never past round:
-// if a proposal at or beyond round is already in flight the call is a
-// no-op (otherwise executors waiting on in-flight commits would mint
-// ever-higher sequence numbers and the merge would never converge).
-// Reptor's executor uses this to fill holes in the merged global order
-// when an instance is idle.
-func (r *Replica) ProposeHeartbeat(round uint64) {
+// ProposeHeartbeat makes a leader propose empty batches for every
+// unassigned sequence up to and including upTo — a ranged fill: one call
+// covers a contiguous run of holes, and the resulting agreements run
+// pipelined (all pre-prepares broadcast back-to-back) instead of one full
+// three-phase round per slot. It never proposes past upTo: if proposals at
+// or beyond upTo are already in flight the call is a no-op (otherwise
+// executors waiting on in-flight commits would mint ever-higher sequence
+// numbers and the merge would never converge). Reptor's executor uses this
+// to fill holes in the merged global order when an instance is idle.
+// It returns the number of slots proposed.
+func (r *Replica) ProposeHeartbeat(upTo uint64) int {
 	if r.stopped || !r.IsLeader() || r.viewChanging {
-		return
+		return 0
 	}
-	if r.seqNext >= round {
-		return
+	proposed := 0
+	for r.seqNext < upTo && r.seqNext < r.stable+r.cfg.LogWindow {
+		r.seqNext++
+		seq := r.seqNext
+		pp := PrePrepare{View: r.view, Seq: seq, Digest: BatchDigest(nil)}
+		s := r.slotFor(seq)
+		s.view = r.view
+		s.pp = &pp
+		r.broadcast(pp)
+		proposed++
 	}
-	if r.seqNext >= r.stable+r.cfg.LogWindow {
-		return
+	// Prepare after all proposals are out so the fill is one pipelined
+	// round of messages rather than interleaved per-slot rounds.
+	for i := proposed; i > 0; i-- {
+		r.tryPrepare(r.seqNext - uint64(i) + 1)
 	}
-	r.seqNext++
-	seq := r.seqNext
-	pp := PrePrepare{View: r.view, Seq: seq, Digest: BatchDigest(nil)}
-	s := r.slotFor(seq)
-	s.view = r.view
-	s.pp = &pp
-	r.broadcast(pp)
-	r.tryPrepare(seq)
+	return proposed
 }
 
 func (r *Replica) slotFor(seq uint64) *slot {
@@ -744,7 +778,9 @@ func (r *Replica) tryExecute() {
 		r.executed = next
 		r.committedCount++
 		r.execBatches++
+		proto := r.node.Network().Params().Protocol
 		for _, req := range s.pp.Batch {
+			r.node.CPU.Delay(proto.ExecRequest)
 			result := r.app.Execute(req.Op)
 			rep := Reply{View: r.view, Timestamp: req.Timestamp, Client: req.Client, Replica: r.id, Result: result}
 			r.replyCache[req.Client] = rep
@@ -819,29 +855,34 @@ func (r *Replica) recordCheckpoint(sender uint32, m Checkpoint) {
 		counts[d]++
 	}
 	for d, c := range counts {
-		if c < r.cfg.Quorum() {
-			continue
-		}
-		if r.snapshots[m.Seq] == d {
+		if c >= r.cfg.Quorum() && r.snapshots[m.Seq] == d {
 			r.advanceStable(m.Seq)
-		} else if m.Seq >= r.executed+r.cfg.CheckpointEvery {
-			// The group certified a checkpoint at least one full
-			// interval beyond our execution point: we missed commits
-			// (restarted, partitioned, or far behind) and will not
-			// catch up from our own log. Fetch the state instead of
-			// stalling. A replica less than one interval behind is
-			// still executing from its log and needs no transfer.
+			return
+		}
+		if c >= r.cfg.F+1 && m.Seq >= r.executed+r.cfg.CheckpointEvery {
+			// F+1 matching votes mean at least one correct replica
+			// executed through m.Seq — at least one full interval beyond
+			// our execution point: we missed commits (restarted,
+			// partitioned, or far behind) and will not catch up from our
+			// own log. Fetch the state instead of stalling. Waiting for a
+			// full 2F+1 certificate here deadlocks when F+1 replicas lag
+			// together (the laggards withhold exactly the votes the
+			// certificate needs); F+1 is safe because adoption
+			// independently verifies the fetched state against F+1
+			// matching responses or a full certificate. A replica less
+			// than one interval behind is still executing from its own
+			// log and needs no transfer.
 			if m.Seq > r.stateTarget {
 				r.stateTarget = m.Seq
 			}
 			// A state response for this very checkpoint may already be
-			// waiting for exactly this certificate.
+			// waiting for exactly this evidence.
 			if r.tryAdoptState() {
 				return
 			}
 			r.requestStateTransfer()
+			return
 		}
-		return
 	}
 }
 
@@ -944,17 +985,26 @@ func (r *Replica) peersAhead() bool {
 }
 
 func (r *Replica) handleStateRequest(sender uint32, m StateRequest) {
-	if m.Seq >= r.stable {
-		return // the requester is at least as current as our checkpoint
+	// Serve the newest retained checkpoint beyond the requester's
+	// execution point — not only the stable one. When F+1 replicas lag
+	// together the group cannot certify any new stable checkpoint (the
+	// certificate needs the laggards' own votes), yet the laggards can
+	// still safely adopt a newer checkpoint: adoption demands F+1
+	// responders vouching for the same (seq, digest), so one correct
+	// responder is always among them.
+	var best uint64
+	for seq := range r.states {
+		if seq > m.Seq && seq > best {
+			best = seq
+		}
 	}
-	state, ok := r.states[r.stable]
-	if !ok {
-		return
+	if best == 0 {
+		return // the requester is at least as current as anything we hold
 	}
 	// Reply to the authenticated sender, not the claimed Replica field.
 	r.send(sender, StateResponse{
-		Seq: r.stable, View: r.view, Digest: r.snapshots[r.stable],
-		State: state, Replica: r.id,
+		Seq: best, View: r.view, Digest: r.snapshots[best],
+		State: r.states[best], Replica: r.id,
 	})
 }
 
@@ -1076,6 +1126,14 @@ func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, state []byte, view 
 	stateCopy := make([]byte, len(state))
 	copy(stateCopy, state)
 	r.states[seq] = stateCopy
+	// Advertise the adopted checkpoint. When several replicas lagged
+	// together, the group's stable checkpoint stalled precisely because
+	// the laggards' votes were missing — this vote (plus the peers who
+	// already voted) completes the certificate so everyone's watermark
+	// window can move again.
+	cp := Checkpoint{Seq: seq, Digest: d, Replica: r.id}
+	r.recordCheckpoint(r.id, cp)
+	r.broadcast(cp)
 	if view > r.view {
 		r.view = view
 		// Observers track the current leader through this hook on
@@ -1113,6 +1171,9 @@ func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, state []byte, view 
 		r.stateRetry.Cancel()
 	}
 	r.stateTransfers++
+	if r.onCheckpointAdopt != nil {
+		r.onCheckpointAdopt(seq)
+	}
 	// Commits above the checkpoint may already be quorate in the log.
 	r.tryExecute()
 	// An older certified checkpoint can win the adoption scan while a
@@ -1257,11 +1318,26 @@ func (r *Replica) adoptNewView(v uint64, nv NewView) {
 			r.broadcast(Prepare{View: v, Seq: pp.Seq, Digest: pp.Digest, Replica: r.id})
 		}
 	}
-	if maxSeq > r.seqNext {
-		r.seqNext = maxSeq
-	}
+	// seqNext is the proposal frontier of the NEW view: the highest
+	// re-proposed or executed sequence. It may move DOWN — a sequence the
+	// old view claimed for a proposal that never went out (e.g. the
+	// ordering-CPU completion observed the view change and aborted the
+	// broadcast) would otherwise stay stranded: nothing re-proposes it,
+	// and a later proposal above it could never execute past the hole.
+	r.seqNext = maxSeq
 	if r.seqNext < r.executed {
 		r.seqNext = r.executed
+	}
+	// The new view will reuse sequences above the frontier, but the old
+	// view may have left slots there (a received pre-prepare sets
+	// sentPrep and records votes that are not view-tagged). Reusing such
+	// a slot would suppress the new view's PREPARE/COMMIT broadcasts and
+	// count stale cross-view votes, so unexecuted slots beyond the
+	// frontier are dropped — their requests live on in requestStore.
+	for seq, s := range r.log {
+		if seq > r.seqNext && !s.executed {
+			delete(r.log, seq)
+		}
 	}
 	// Rebuild proposal bookkeeping: only the re-proposed slots count as
 	// in flight; everything else known-but-unexecuted goes back to the

@@ -9,11 +9,22 @@ import (
 
 // Client routes operations to the responsible COP instance and collects
 // BFT-quorum replies, one sub-client per instance.
+//
+// Every sub-client gets its own globally unique PBFT client identity:
+// request keys are (client, timestamp) pairs and each sub-client counts
+// timestamps independently, so sharing one identity across instances
+// would make unrelated operations indistinguishable in the merged global
+// order (and in the replicas' reply caches).
 type Client struct {
 	group *Group
 	id    uint32
 	sub   []*pbft.Client
 }
+
+// subClientID derives the PBFT identity of client id's instance-k
+// sub-client. The stride bounds group size at 1024 clients per deployment
+// before identities could collide — far beyond any simulated workload.
+func subClientID(id uint32, k int) uint32 { return id + uint32(k)*1024 }
 
 // AddClient creates a client on its own node connected to every replica's
 // per-instance client port.
@@ -32,7 +43,7 @@ func (g *Group) AddClient() (*Client, error) {
 	var dialErr error
 	dials, want := 0, 0
 	for k := 0; k < g.Config.Instances; k++ {
-		sub := pbft.NewClient(id, g.Config.PBFT.F)
+		sub := pbft.NewClient(subClientID(id, k), g.Config.PBFT.F)
 		cl.sub = append(cl.sub, sub)
 		for i := 0; i < n; i++ {
 			want++

@@ -31,20 +31,36 @@ type Config struct {
 	// Instances is K, the number of parallel consensus pipelines.
 	Instances int
 	// HeartbeatDelay is how long the executor waits on a hole before
-	// asking the lagging instance's leader for an empty batch.
+	// asking the lagging instance's leader for empty batches — the
+	// floor of the adaptive backoff. Real traffic on an instance resets
+	// its delay to this value.
 	HeartbeatDelay sim.Time
+	// HeartbeatMax caps the exponential backoff: each heartbeat round an
+	// instance stays idle doubles its delay up to this ceiling, so a cold
+	// partition is probed aggressively at first and cheaply once it is
+	// clearly idle.
+	HeartbeatMax sim.Time
 }
 
 // DefaultConfig returns a 4-instance COP group over the default PBFT
 // parameters.
 func DefaultConfig() Config {
-	return Config{PBFT: pbft.DefaultConfig(), Instances: 4, HeartbeatDelay: 500 * sim.Microsecond}
+	return Config{
+		PBFT:           pbft.DefaultConfig(),
+		Instances:      4,
+		HeartbeatDelay: 100 * sim.Microsecond,
+		HeartbeatMax:   4 * sim.Millisecond,
+	}
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Instances < 1 {
 		return fmt.Errorf("reptor: need at least one instance")
+	}
+	if c.HeartbeatDelay < 1 || c.HeartbeatMax < c.HeartbeatDelay {
+		return fmt.Errorf("reptor: need 0 < HeartbeatDelay <= HeartbeatMax, got %v/%v",
+			c.HeartbeatDelay, c.HeartbeatMax)
 	}
 	return c.PBFT.Validate()
 }
@@ -128,6 +144,9 @@ func NewGroup(kind transport.Kind, cfg Config, params model.Params, seed int64, 
 			rep.OnExecute(func(seq uint64, batch []pbft.Request) {
 				g.Executors[i].deliver(k, seq, batch)
 			})
+			rep.OnCheckpointAdopt(func(seq uint64) {
+				g.Executors[i].subsume(k, seq)
+			})
 			reps = append(reps, rep)
 		}
 		g.Instances = append(g.Instances, reps)
@@ -205,16 +224,36 @@ type Executor struct {
 	// cursor is the next instance within the current round.
 	cursor int
 
-	order    []string
-	slots    uint64
+	order []string
+	slots uint64
+	// hbArmed/hbRound/hbCursor/hbTimer track the one in-flight heartbeat
+	// timer and the hole it was armed for, so a timer backed off for a
+	// stale hole can be cancelled the moment the merge moves on to a
+	// different one instead of blocking its (possibly much shorter) arm.
 	hbArmed  bool
+	hbRound  uint64
+	hbCursor int
+	hbTimer  *sim.Timer
+	// hbDelay is the per-instance adaptive heartbeat delay: reset to
+	// Config.HeartbeatDelay by real traffic on the instance, doubled (up
+	// to Config.HeartbeatMax) each heartbeat round the instance sits idle.
+	hbDelay  []sim.Time
+	hbRounds uint64
+	hbSlots  uint64
 	delivers uint64
+	// subsumed[k] is the highest instance-k sequence folded into an
+	// adopted state-transfer checkpoint: those rounds will never be
+	// delivered through OnExecute and the merge must not wait for them.
+	subsumed      []uint64
+	subsumedSlots uint64
 }
 
 func newExecutor(g *Group, node int) *Executor {
 	e := &Executor{group: g, node: node, round: 1}
 	for k := 0; k < g.Config.Instances; k++ {
 		e.ready = append(e.ready, make(map[uint64][]pbft.Request))
+		e.hbDelay = append(e.hbDelay, g.Config.HeartbeatDelay)
+		e.subsumed = append(e.subsumed, 0)
 	}
 	return e
 }
@@ -222,9 +261,66 @@ func newExecutor(g *Group, node int) *Executor {
 // MergedSlots returns how many global slots have been merged.
 func (e *Executor) MergedSlots() uint64 { return e.slots }
 
+// HeartbeatRounds returns how many heartbeat fills this executor fired.
+func (e *Executor) HeartbeatRounds() uint64 { return e.hbRounds }
+
+// HeartbeatSlots returns how many empty slots those fills requested —
+// with batched hole-filling this can exceed HeartbeatRounds.
+func (e *Executor) HeartbeatSlots() uint64 { return e.hbSlots }
+
+// HeartbeatDelay returns the current adaptive delay of an instance.
+func (e *Executor) HeartbeatDelay(instance int) sim.Time { return e.hbDelay[instance] }
+
+// SubsumedSlots returns how many global slots were skipped because a
+// state transfer folded their batches into an adopted checkpoint — a
+// node with a non-zero count has a gap in its local view of the merged
+// order (its application state is nevertheless the transferred, correct
+// one).
+func (e *Executor) SubsumedSlots() uint64 { return e.subsumedSlots }
+
+// Backlog returns the number of committed-but-unmerged batches buffered
+// by this executor — committed work the merge barrier is sitting on.
+func (e *Executor) Backlog() int {
+	n := 0
+	for k := range e.ready {
+		n += len(e.ready[k])
+	}
+	return n
+}
+
 func (e *Executor) deliver(instance int, seq uint64, batch []pbft.Request) {
 	e.delivers++
+	// A delivery behind the merge cursor can only follow a subsumed-round
+	// skip (normal execution is strictly in-order per instance); buffering
+	// it would leave a permanently unmergeable entry behind.
+	if seq < e.round || (seq == e.round && instance < e.cursor) {
+		return
+	}
+	if len(batch) > 0 {
+		// Real traffic: the instance's leader is alive and proposing, so
+		// probe future holes at full speed again.
+		e.hbDelay[instance] = e.group.Config.HeartbeatDelay
+	}
 	e.ready[instance][seq] = batch
+	e.drain()
+}
+
+// subsume records that instance's sequences up to seq were folded into a
+// state-transfer checkpoint this node adopted: the merge stops waiting
+// for them. The affected global slots advance without contributing order
+// entries — the batches' effects are inside the adopted application
+// state, their contents unrecoverable here — and SubsumedSlots exposes
+// how many, so a node that lived through a transfer is never silently
+// wedged and never silently complete either.
+func (e *Executor) subsume(instance int, seq uint64) {
+	if seq > e.subsumed[instance] {
+		e.subsumed[instance] = seq
+	}
+	for s := range e.ready[instance] {
+		if s <= seq {
+			delete(e.ready[instance], s)
+		}
+	}
 	e.drain()
 }
 
@@ -233,6 +329,14 @@ func (e *Executor) drain() {
 	for {
 		batch, ok := e.ready[e.cursor][e.round]
 		if !ok {
+			if e.round <= e.subsumed[e.cursor] {
+				// Skipped by state transfer: advance the slot without
+				// order entries (see subsume).
+				e.subsumedSlots++
+				e.slots++
+				e.advanceCursor()
+				continue
+			}
 			e.armHeartbeat()
 			return
 		}
@@ -241,23 +345,55 @@ func (e *Executor) drain() {
 			e.order = append(e.order, req.Key())
 		}
 		e.slots++
-		e.cursor++
-		if e.cursor == e.group.Config.Instances {
-			e.cursor = 0
-			e.round++
-		}
+		e.advanceCursor()
 	}
 }
 
+func (e *Executor) advanceCursor() {
+	e.cursor++
+	if e.cursor == e.group.Config.Instances {
+		e.cursor = 0
+		e.round++
+	}
+}
+
+// maxReadyRound returns the highest instance-local sequence committed by
+// any instance but not yet merged — how far ahead of the barrier the
+// group has already agreed.
+func (e *Executor) maxReadyRound() uint64 {
+	var max uint64
+	for k := range e.ready {
+		for seq := range e.ready[k] {
+			if seq > max {
+				max = seq
+			}
+		}
+	}
+	return max
+}
+
 // armHeartbeat schedules a one-shot nudge: if the hole at (round, cursor)
-// persists and this node leads the lagging instance, propose an empty
-// batch to fill it.
+// persists for the instance's current adaptive delay and this node leads
+// the lagging instance, fill the whole contiguous run of holes — every
+// round up to the furthest committed-but-unmerged sequence — with one
+// ranged heartbeat proposal instead of one full agreement per slot.
 func (e *Executor) armHeartbeat() {
 	if e.hbArmed {
-		return
+		if e.hbRound == e.round && e.hbCursor == e.cursor {
+			return // already armed for this very hole
+		}
+		// Armed for a hole the merge has moved past: a timer backed off
+		// to HeartbeatMax for an idle instance must not delay the fresh
+		// (floor-delay) probe of the hole now at the cursor.
+		e.hbTimer.Cancel()
+		e.hbArmed = false
 	}
 	// Only arm when some other instance has already moved past this
-	// round — otherwise the group is simply idle.
+	// round — otherwise the group is simply idle. Any buffered entry is
+	// at or beyond the merge cursor by construction (the merge consumes
+	// every earlier slot before advancing), so the first non-empty
+	// buffer decides; the full maxReadyRound scan is deferred to the
+	// fired timer, off the per-delivery hot path.
 	anyAhead := false
 	for k := range e.ready {
 		if len(e.ready[k]) > 0 {
@@ -270,11 +406,27 @@ func (e *Executor) armHeartbeat() {
 	}
 	e.hbArmed = true
 	instance, round := e.cursor, e.round
-	e.group.Loop.After(e.group.Config.HeartbeatDelay, func() {
+	e.hbRound, e.hbCursor = round, instance
+	e.hbTimer = e.group.Loop.After(e.hbDelay[instance], func() {
 		e.hbArmed = false
 		if e.round == round && e.cursor == instance {
+			// The hole survived the whole delay: the instance is idle.
+			// Fill up to the furthest round any instance has committed,
+			// and back off in case it stays idle.
+			upTo := e.maxReadyRound()
+			if upTo < round {
+				upTo = round
+			}
 			rep := e.group.Instances[instance][e.node]
-			rep.ProposeHeartbeat(round)
+			if n := rep.ProposeHeartbeat(upTo); n > 0 {
+				e.hbRounds++
+				e.hbSlots += uint64(n)
+			}
+			if next := 2 * e.hbDelay[instance]; next <= e.group.Config.HeartbeatMax {
+				e.hbDelay[instance] = next
+			} else {
+				e.hbDelay[instance] = e.group.Config.HeartbeatMax
+			}
 		}
 		// Re-check: fills may have happened, or the hole persists and
 		// needs re-arming.
