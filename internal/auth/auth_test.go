@@ -194,3 +194,87 @@ func TestGenerateKeyringsPanicsOnZero(t *testing.T) {
 	}()
 	GenerateKeyrings(0, 1)
 }
+
+// TestMACVerifyNegativeTable drives Verify through every malformed-input
+// class a Byzantine sender (or a broken codec) could produce: truncated
+// and padded MACs, MACs under the wrong pairwise key, cross-sender
+// replays and empty-message edge cases. None may verify.
+func TestMACVerifyNegativeTable(t *testing.T) {
+	rings := GenerateKeyrings(4, 21)
+	otherDeployment := GenerateKeyrings(4, 22) // same shape, different seed
+	msg := []byte("prepare v3 n41")
+	valid := rings[0].MAC(1, msg)
+	cases := []struct {
+		name     string
+		receiver *Keyring
+		sender   int
+		msg      []byte
+		mac      []byte
+	}{
+		{"truncated MAC (half)", rings[1], 0, msg, valid[:MACSize/2]},
+		{"truncated MAC (one byte short)", rings[1], 0, msg, valid[:MACSize-1]},
+		{"empty MAC", rings[1], 0, msg, []byte{}},
+		{"nil MAC", rings[1], 0, msg, nil},
+		{"padded MAC", rings[1], 0, msg, append(bytes.Clone(valid), 0)},
+		{"wrong key (other deployment)", otherDeployment[1], 0, msg, valid},
+		{"cross-sender replay (2 claims 0's MAC)", rings[1], 2, msg, valid},
+		{"wrong receiver (meant for 1, checked by 2)", rings[2], 0, msg, valid},
+		{"empty message under valid-shape MAC", rings[1], 0, []byte{}, valid},
+		{"MAC of empty message against real message", rings[1], 0, msg, rings[0].MAC(1, []byte{})},
+	}
+	for _, tc := range cases {
+		if tc.receiver.Verify(tc.sender, tc.msg, tc.mac) {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The empty message itself is still authenticatable — only the
+	// mismatches above must fail.
+	emptyMAC := rings[0].MAC(1, nil)
+	if !rings[1].Verify(0, nil, emptyMAC) {
+		t.Error("valid MAC over the empty message rejected")
+	}
+}
+
+// TestAuthenticatorNegativeTable does the same for full authenticator
+// vectors: truncated vectors, entries swapped between receivers,
+// replayed vectors under a different claimed sender, and empty payloads.
+func TestAuthenticatorNegativeTable(t *testing.T) {
+	rings := GenerateKeyrings(4, 23)
+	msg := []byte("commit v0 n9")
+	a := rings[0].Authenticate(msg)
+
+	swapped := make(Authenticator, len(a))
+	copy(swapped, a)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+
+	truncatedVector := a[:2] // receivers 2 and 3 have no entry at all
+
+	truncatedEntries := make(Authenticator, len(a))
+	for i, m := range a {
+		if len(m) > 0 {
+			truncatedEntries[i] = m[:MACSize-1]
+		}
+	}
+
+	cases := []struct {
+		name     string
+		receiver *Keyring
+		sender   int
+		msg      []byte
+		auth     Authenticator
+	}{
+		{"cross-sender replay (claimed 2, built by 0)", rings[1], 2, msg, a},
+		{"cross-receiver entry swap", rings[1], 0, msg, swapped},
+		{"truncated vector", rings[2], 0, msg, truncatedVector},
+		{"truncated entries", rings[1], 0, msg, truncatedEntries},
+		{"nil authenticator", rings[1], 0, msg, nil},
+		{"empty message under real authenticator", rings[1], 0, []byte{}, a},
+		{"out-of-range sender (negative)", rings[1], -1, msg, a},
+		{"out-of-range sender (past N)", rings[1], 4, msg, a},
+	}
+	for _, tc := range cases {
+		if tc.receiver.VerifyFrom(tc.sender, tc.msg, tc.auth) {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // regenerating the paper's evaluation and its extensions, with every
 // experiment emitting machine-readable results.
 //
-// Experiments E1–E8 register themselves (from their defining files' init
+// Experiments E1–E9 register themselves (from their defining files' init
 // functions) as Experiment values: E1/E2 reproduce Figure 3 (transport
 // micro-benchmark), E3/E4 Figure 4 (RUBIN vs Java-NIO selector over the
 // Reptor communication stack), E5 the full replicated-system evaluation

@@ -54,11 +54,22 @@ func (rc RunContext) intKnob(name string, def int) (int, error) {
 
 // intsKnob parses a comma-separated positive integer list knob.
 func (rc RunContext) intsKnob(name string, def []int) ([]int, error) {
+	return rc.listKnob(name, def, 1)
+}
+
+// nonNegIntsKnob parses a comma-separated non-negative integer list knob
+// — zero is meaningful here (a uniform skew, an all-write mix).
+func (rc RunContext) nonNegIntsKnob(name string, def []int) ([]int, error) {
+	return rc.listKnob(name, def, 0)
+}
+
+// listKnob parses an integer-list knob with a lower bound per element.
+func (rc RunContext) listKnob(name string, def []int, min int) ([]int, error) {
 	v, ok := rc.Knobs[name]
 	if !ok {
 		return def, nil
 	}
-	out, err := ParseInts(v)
+	out, err := parseInts(v, min)
 	if err != nil {
 		return nil, fmt.Errorf("bench: knob %s: %v", name, err)
 	}
@@ -67,11 +78,14 @@ func (rc RunContext) intsKnob(name string, def []int) ([]int, error) {
 
 // ParseInts parses a comma-separated list of positive integers (the
 // format of payload/size-sweep flags and knobs).
-func ParseInts(s string) ([]int, error) {
+func ParseInts(s string) ([]int, error) { return parseInts(s, 1) }
+
+// parseInts parses a comma-separated integer list with a lower bound.
+func parseInts(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
+		if err != nil || n < min {
 			return nil, fmt.Errorf("bad value %q", part)
 		}
 		out = append(out, n)
@@ -89,10 +103,10 @@ func formatInts(xs []int) string {
 }
 
 // Experiment is one registered entry of the benchmark suite. Every
-// experiment E1–E8 registers itself from its defining file's init, so any
+// experiment E1–E9 registers itself from its defining file's init, so any
 // binary importing internal/bench sees the full suite.
 type Experiment struct {
-	// Name is the registry key: "E1".."E8".
+	// Name is the registry key: "E1".."E9".
 	Name string
 	// Title is the one-line human description.
 	Title string

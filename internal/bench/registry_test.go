@@ -8,10 +8,10 @@ import (
 	"rubin/internal/metrics"
 )
 
-// TestRegistryComplete asserts the suite registers E1–E8 with full
+// TestRegistryComplete asserts the suite registers E1–E9 with full
 // metadata, in numeric order.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -58,6 +58,8 @@ var tinyKnobs = map[string]map[string]string{
 	"E6": {"payloads_kb": "2", "messages": "60", "warmup": "10"},
 	"E7": {}, // the timeline is fixed; quick mode already shrinks the window
 	"E8": {"ns": "4", "ks": "1,2", "payloads_kb": "1", "requests": "20", "warmup": "5"},
+	"E9": {"rates": "900", "skews": "99", "read_pcts": "50", "ks": "1",
+		"users": "8", "conns": "2", "keys": "16", "ops": "30", "warmup": "5"},
 }
 
 // TestExperimentJSONRoundTripAndDeterminism runs every registered

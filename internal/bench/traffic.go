@@ -1,0 +1,428 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/pbft"
+	"rubin/internal/reptor"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+	"rubin/internal/workload"
+)
+
+// TrafficConfig parameterizes one point of experiment E9: a workload
+// (key skew, operation mix, arrival model) driven against either a PBFT
+// cluster (Instances == 0) or a Reptor COP group (Instances == K) over
+// one transport backend. Logical users are multiplexed over a bounded
+// pool of client connections, every operation is recorded, and the
+// history is checked for per-key register linearizability — a failed
+// check fails the run, so every E9 point doubles as a correctness proof.
+type TrafficConfig struct {
+	Kind      transport.Kind
+	Instances int // 0 = plain PBFT cluster; K >= 1 = Reptor COP group
+	N, F      int
+	Users     int // logical users
+	Conns     int // client connections the users share
+	Keys      int // keyspace size
+	ValueSize int // written-value padding, bytes
+	Ops       int // measured operations
+	Warmup    int // unmeasured leading operations
+	Mix       workload.Mix
+	Zipf100   int // Zipf theta ×100 over the keyspace; 0 = uniform
+	Arrival   workload.Arrival
+	Seed      int64
+}
+
+// TrafficResult is one measurement point of E9.
+type TrafficResult struct {
+	P50, P90, P99, P999 sim.Time // latency percentiles, arrival to reply
+	Goodput             float64  // measured completions per second
+	Completed           int
+	HistoryOps          int
+}
+
+// RunTraffic drives one workload configuration to completion, verifies
+// the run was healthy (no send faults, no stalled executor, no dangling
+// invocations) and linearizable, and returns the latency percentiles
+// and goodput.
+func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
+	if cfg.Instances > 0 && cfg.Mix.ScanPct > 0 {
+		// A scan routes by its prefix while the keys it covers route by
+		// full key, so its observation would straddle instances — whose
+		// executions interleave differently per replica. The replies
+		// then diverge and the F+1 quorum may never form.
+		return TrafficResult{}, fmt.Errorf("bench: COP traffic cannot include scans (see e9Mix)")
+	}
+	var chooser workload.KeyChooser = workload.NewUniform(cfg.Keys)
+	if cfg.Zipf100 > 0 {
+		chooser = workload.NewZipf(cfg.Keys, float64(cfg.Zipf100)/100)
+	}
+	wcfg := workload.Config{
+		Users: cfg.Users, Conns: cfg.Conns,
+		Ops: cfg.Ops, Warmup: cfg.Warmup,
+		Keys: chooser, Mix: cfg.Mix, Arrival: cfg.Arrival,
+		ValueSize: cfg.ValueSize, Seed: cfg.Seed,
+	}
+
+	var loop *sim.Loop
+	var invoke workload.Invoker
+	var finish func() error
+	if cfg.Instances == 0 {
+		pcfg := pbft.DefaultConfig()
+		pcfg.N, pcfg.F = cfg.N, cfg.F
+		cluster, err := pbft.NewCluster(cfg.Kind, pcfg, params, cfg.Seed,
+			func(int) pbft.Application { return kvstore.New() })
+		if err != nil {
+			return TrafficResult{}, err
+		}
+		if err := cluster.Start(); err != nil {
+			return TrafficResult{}, err
+		}
+		cls := make([]*pbft.Client, cfg.Conns)
+		for i := range cls {
+			if cls[i], err = cluster.AddClient(); err != nil {
+				return TrafficResult{}, err
+			}
+		}
+		loop = cluster.Loop
+		invoke = func(conn int, _ string, op []byte, done func([]byte)) {
+			cls[conn].Invoke(op, done)
+		}
+		finish = func() error {
+			if n := cluster.SendFaults(); n != 0 {
+				return fmt.Errorf("bench: %d send faults on a healthy network", n)
+			}
+			for _, cl := range cls {
+				if n := cl.Outstanding(); n != 0 {
+					return fmt.Errorf("bench: client %d left %d invocations outstanding", cl.ID(), n)
+				}
+			}
+			return nil
+		}
+	} else {
+		gcfg := reptor.DefaultConfig()
+		gcfg.Instances = cfg.Instances
+		gcfg.PBFT.N, gcfg.PBFT.F = cfg.N, cfg.F
+		group, err := reptor.NewGroup(cfg.Kind, gcfg, params, cfg.Seed,
+			func(int) pbft.Application { return kvstore.New() })
+		if err != nil {
+			return TrafficResult{}, err
+		}
+		if err := group.Start(); err != nil {
+			return TrafficResult{}, err
+		}
+		cls := make([]*reptor.Client, cfg.Conns)
+		for i := range cls {
+			if cls[i], err = group.AddClient(); err != nil {
+				return TrafficResult{}, err
+			}
+		}
+		loop = group.Loop
+		// COP routes by the state-machine key, so one instance orders
+		// every operation of a key (see reptor.Client.InvokeRouted).
+		invoke = func(conn int, key string, op []byte, done func([]byte)) {
+			cls[conn].InvokeRouted([]byte(key), op, done)
+		}
+		finish = func() error {
+			if n := group.SendFaults(); n != 0 {
+				return fmt.Errorf("bench: %d send faults on a healthy network", n)
+			}
+			for i, ex := range group.Executors {
+				if b := ex.Backlog(); b != 0 {
+					return fmt.Errorf("bench: node %d executor stalled with %d committed-but-unmerged batches", i, b)
+				}
+			}
+			for i, cl := range cls {
+				if n := cl.Outstanding(); n != 0 {
+					return fmt.Errorf("bench: client %d left %d invocations outstanding", i, n)
+				}
+			}
+			return nil
+		}
+	}
+
+	d, err := workload.New(loop, wcfg, invoke)
+	if err != nil {
+		return TrafficResult{}, err
+	}
+	if err := d.Run(); err != nil {
+		return TrafficResult{}, err
+	}
+	if err := finish(); err != nil {
+		return TrafficResult{}, err
+	}
+	if err := d.History().CheckLinearizable(); err != nil {
+		return TrafficResult{}, err
+	}
+	rec := d.Latencies()
+	return TrafficResult{
+		P50: rec.Percentile(50), P90: rec.Percentile(90),
+		P99: rec.Percentile(99), P999: rec.Percentile(99.9),
+		Goodput:    d.Goodput(),
+		Completed:  d.Completed(),
+		HistoryOps: d.History().Len(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry entry: E9 (traffic study under a linearizability oracle).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E9",
+		Title:  "traffic study: arrival rate, key skew and operation mix under a linearizability oracle",
+		Figure: "beyond the paper: YCSB-style open/closed-loop workloads over the replicated system",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE9(rc)
+			return cfg, err
+		},
+		Run: runE9,
+	})
+}
+
+// e9Knobs are the resolved parameters of one E9 run.
+type e9Knobs struct {
+	rates      []int // open-loop arrival rates, ops/s
+	skews      []int // Zipf theta ×100; 0 = uniform
+	readPcts   []int // read shares of the mix sweep
+	ks         []int // COP instance counts (PBFT always runs too)
+	n          int
+	users      int
+	conns      int
+	keys       int
+	ops        int
+	warmup     int
+	valueBytes int
+	window     int // closed-loop outstanding per user
+	scanPct    int
+	deletePct  int
+	burstUS    int // on/off half-period of the burst sweep; 0 disables it
+}
+
+func resolveE9(rc RunContext) (e9Knobs, map[string]string, error) {
+	k := e9Knobs{
+		rates:    []int{3000, 8000, 16000},
+		skews:    []int{0, 90, 99},
+		readPcts: []int{0, 45, 90},
+		ks:       []int{1, 4},
+		n:        4, users: 96, conns: 4, keys: 128,
+		ops: 300, warmup: 30, valueBytes: 128, window: 1,
+		scanPct: 5, deletePct: 5, burstUS: 2000,
+	}
+	if rc.Quick {
+		k.rates, k.skews, k.readPcts = []int{1500}, []int{99}, []int{50}
+		k.ks = []int{1}
+		k.users, k.conns, k.keys = 24, 2, 32
+		k.ops, k.warmup = 60, 10
+		k.burstUS = 0
+	}
+	var err error
+	if k.rates, err = rc.intsKnob("rates", k.rates); err != nil {
+		return k, nil, err
+	}
+	if k.skews, err = rc.nonNegIntsKnob("skews", k.skews); err != nil {
+		return k, nil, err
+	}
+	if k.readPcts, err = rc.nonNegIntsKnob("read_pcts", k.readPcts); err != nil {
+		return k, nil, err
+	}
+	if k.ks, err = rc.intsKnob("ks", k.ks); err != nil {
+		return k, nil, err
+	}
+	if k.n, err = rc.intKnob("n", k.n); err != nil {
+		return k, nil, err
+	}
+	if k.users, err = rc.intKnob("users", k.users); err != nil {
+		return k, nil, err
+	}
+	if k.conns, err = rc.intKnob("conns", k.conns); err != nil {
+		return k, nil, err
+	}
+	if k.keys, err = rc.intKnob("keys", k.keys); err != nil {
+		return k, nil, err
+	}
+	if k.ops, err = rc.intKnob("ops", k.ops); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.valueBytes, err = rc.intKnob("value_bytes", k.valueBytes); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	if k.scanPct, err = rc.intKnob("scan_pct", k.scanPct); err != nil {
+		return k, nil, err
+	}
+	if k.deletePct, err = rc.intKnob("delete_pct", k.deletePct); err != nil {
+		return k, nil, err
+	}
+	if k.burstUS, err = rc.intKnob("burst_us", k.burstUS); err != nil {
+		return k, nil, err
+	}
+	if k.n < 4 {
+		return k, nil, fmt.Errorf("bench: E9 needs n >= 4 (3f+1), got %d", k.n)
+	}
+	if k.users < k.conns || k.conns < 1 {
+		return k, nil, fmt.Errorf("bench: E9 needs 1 <= conns <= users, got %d/%d", k.conns, k.users)
+	}
+	if k.window < 1 || k.keys < 10 || k.burstUS < 0 {
+		return k, nil, fmt.Errorf("bench: E9 needs window >= 1, keys >= 10 and burst_us >= 0")
+	}
+	for _, s := range k.skews {
+		if s >= 100 {
+			return k, nil, fmt.Errorf("bench: E9 skews are Zipf theta x100 in [0, 100), got %d", s)
+		}
+	}
+	if k.scanPct < 0 || k.deletePct < 0 {
+		return k, nil, fmt.Errorf("bench: E9 needs scan_pct/delete_pct >= 0, got %d/%d", k.scanPct, k.deletePct)
+	}
+	// Every read share the sweeps use — the read_pcts axis and the fixed
+	// e9MidRead of the rate/burst/skew sweeps — must leave the mix a
+	// valid percentage split.
+	for _, r := range append([]int{e9MidRead}, k.readPcts...) {
+		if r+k.scanPct+k.deletePct > 100 {
+			return k, nil, fmt.Errorf("bench: E9 mix read=%d + scan=%d + delete=%d exceeds 100",
+				r, k.scanPct, k.deletePct)
+		}
+	}
+	cfg := map[string]string{
+		"rates":       formatInts(k.rates),
+		"skews":       formatInts(k.skews),
+		"read_pcts":   formatInts(k.readPcts),
+		"ks":          formatInts(k.ks),
+		"n":           strconv.Itoa(k.n),
+		"users":       strconv.Itoa(k.users),
+		"conns":       strconv.Itoa(k.conns),
+		"keys":        strconv.Itoa(k.keys),
+		"ops":         strconv.Itoa(k.ops),
+		"warmup":      strconv.Itoa(k.warmup),
+		"value_bytes": strconv.Itoa(k.valueBytes),
+		"window":      strconv.Itoa(k.window),
+		"scan_pct":    strconv.Itoa(k.scanPct),
+		"delete_pct":  strconv.Itoa(k.deletePct),
+		"burst_us":    strconv.Itoa(k.burstUS),
+	}
+	return k, cfg, nil
+}
+
+// e9System is one system-under-test of the E9 sweeps.
+type e9System struct {
+	label     string
+	instances int // 0 = PBFT
+}
+
+// e9MidRead is the fixed read share of the rate, burst and skew sweeps.
+const e9MidRead = 45
+
+// e9Mix builds the operation mix for one read share. COP executes its
+// instances independently against the shared node-local state machine,
+// so multi-key scans would observe cross-instance interleavings that
+// differ between replicas; the COP runs honestly trade the scan share
+// for writes instead of pretending the observation is meaningful.
+func e9Mix(readPct, scanPct, deletePct int, cop bool) workload.Mix {
+	m := workload.Mix{ReadPct: readPct, ScanPct: scanPct, DeletePct: deletePct}
+	if cop {
+		m.ScanPct = 0
+	}
+	m.WritePct = 100 - m.ReadPct - m.ScanPct - m.DeletePct
+	return m
+}
+
+func runE9(rc RunContext, res *metrics.Result) error {
+	k, _, err := resolveE9(rc)
+	if err != nil {
+		return err
+	}
+	systems := []e9System{{"PBFT", 0}}
+	for _, ki := range k.ks {
+		systems = append(systems, e9System{fmt.Sprintf("COP-%d", ki), ki})
+	}
+	base := func(kind transport.Kind, sys e9System) TrafficConfig {
+		return TrafficConfig{
+			Kind: kind, Instances: sys.instances,
+			N: k.n, F: (k.n - 1) / 3,
+			Users: k.users, Conns: k.conns, Keys: k.keys,
+			ValueSize: k.valueBytes, Ops: k.ops, Warmup: k.warmup,
+			Seed: rc.Seed,
+		}
+	}
+	// Sweep 1 (+2): open-loop arrival rate, Poisson — and, when enabled,
+	// the same rates as on/off bursts — at fixed skew and mix.
+	type arrivalSweep struct {
+		prefix  string
+		arrival func(rate int) workload.Arrival
+	}
+	sweeps := []arrivalSweep{
+		{"rate", func(rate int) workload.Arrival { return workload.Poisson(float64(rate)) }},
+	}
+	if k.burstUS > 0 {
+		burst := sim.Time(k.burstUS) * sim.Microsecond
+		sweeps = append(sweeps, arrivalSweep{"burst", func(rate int) workload.Arrival {
+			return workload.Bursts(float64(rate), burst, burst)
+		}})
+	}
+	for _, sweep := range sweeps {
+		for _, kind := range e8Transports {
+			for _, sys := range systems {
+				name := fmt.Sprintf("%s %s %s", sweep.prefix, sys.label, e8Label(kind))
+				ps := res.AddPercentileSeries(name, string(kind), "rate_ops_s")
+				for _, rate := range k.rates {
+					cfg := base(kind, sys)
+					cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
+					cfg.Zipf100 = 99
+					cfg.Arrival = sweep.arrival(rate)
+					r, err := RunTraffic(cfg, rc.Model)
+					if err != nil {
+						return fmt.Errorf("%s=%d %s %s: %w", sweep.prefix, rate, sys.label, kind, err)
+					}
+					ps.Observe(float64(rate), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+				}
+			}
+		}
+	}
+	// Sweep 3: key skew under closed-loop load.
+	for _, kind := range e8Transports {
+		for _, sys := range systems {
+			name := fmt.Sprintf("skew %s %s", sys.label, e8Label(kind))
+			ps := res.AddPercentileSeries(name, string(kind), "zipf_theta_x100")
+			for _, skew := range k.skews {
+				cfg := base(kind, sys)
+				cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
+				cfg.Zipf100 = skew
+				cfg.Arrival = workload.Closed(k.window, 0)
+				r, err := RunTraffic(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("skew=%d %s %s: %w", skew, sys.label, kind, err)
+				}
+				ps.Observe(float64(skew), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+			}
+		}
+	}
+	// Sweep 4: read share under closed-loop load at fixed skew.
+	for _, kind := range e8Transports {
+		for _, sys := range systems {
+			name := fmt.Sprintf("mix %s %s", sys.label, e8Label(kind))
+			ps := res.AddPercentileSeries(name, string(kind), "read_pct")
+			for _, readPct := range k.readPcts {
+				cfg := base(kind, sys)
+				cfg.Mix = e9Mix(readPct, k.scanPct, k.deletePct, sys.instances > 0)
+				cfg.Zipf100 = 99
+				cfg.Arrival = workload.Closed(k.window, 0)
+				r, err := RunTraffic(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("read_pct=%d %s %s: %w", readPct, sys.label, kind, err)
+				}
+				ps.Observe(float64(readPct), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+			}
+		}
+	}
+	return nil
+}

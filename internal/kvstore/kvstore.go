@@ -8,6 +8,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rubin/internal/auth"
 )
@@ -20,6 +22,11 @@ const (
 	OpPut OpCode = iota + 1
 	OpGet
 	OpDelete
+	// OpScan reads the keys starting with a prefix: the op's key field
+	// holds the prefix and its value field an optional decimal result
+	// cap. Scans go through the ordered path like every other operation,
+	// so they observe one consistent snapshot of the store.
+	OpScan
 )
 
 // Store is the key/value state machine. It implements pbft.Application.
@@ -106,9 +113,45 @@ func (s *Store) Execute(op []byte) []byte {
 		}
 		delete(s.data, key)
 		return []byte("OK")
+	case OpScan:
+		limit := 0
+		if value != "" {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return []byte("ERR bad scan limit " + value)
+			}
+			limit = n
+		}
+		return []byte(s.Scan(key, limit))
 	default:
 		return []byte("ERR unknown op")
 	}
+}
+
+// Scan returns up to limit key=value pairs whose keys start with prefix,
+// in sorted key order, joined by newlines (limit <= 0 means no cap). An
+// empty result is the empty string.
+func (s *Store) Scan(prefix string, limit int) string {
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.data[k])
+	}
+	return b.String()
 }
 
 // encodeState serializes the key/value contents in sorted order, the

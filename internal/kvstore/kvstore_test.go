@@ -140,3 +140,45 @@ func TestPropertyReplicaDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScanReturnsSortedPrefixMatches(t *testing.T) {
+	s := New()
+	for _, k := range []string{"k000012", "k000010", "k000019", "k000104", "x9"} {
+		s.Execute(EncodeOp(OpPut, k, "v-"+k))
+	}
+	if got := s.Scan("k00001", 0); got != "k000010=v-k000010\nk000012=v-k000012\nk000019=v-k000019" {
+		t.Fatalf("Scan = %q", got)
+	}
+	if got := s.Scan("k00001", 2); got != "k000010=v-k000010\nk000012=v-k000012" {
+		t.Fatalf("limited Scan = %q", got)
+	}
+	if got := s.Scan("zzz", 0); got != "" {
+		t.Fatalf("empty Scan = %q", got)
+	}
+}
+
+func TestScanThroughExecute(t *testing.T) {
+	s := New()
+	s.Execute(EncodeOp(OpPut, "a1", "1"))
+	s.Execute(EncodeOp(OpPut, "a2", "2"))
+	s.Execute(EncodeOp(OpPut, "b1", "3"))
+	if got := string(s.Execute(EncodeOp(OpScan, "a", "10"))); got != "a1=1\na2=2" {
+		t.Fatalf("scan op = %q", got)
+	}
+	if got := string(s.Execute(EncodeOp(OpScan, "a", ""))); got != "a1=1\na2=2" {
+		t.Fatalf("uncapped scan op = %q", got)
+	}
+	if got := string(s.Execute(EncodeOp(OpScan, "a", "bogus"))); got != "ERR bad scan limit bogus" {
+		t.Fatalf("bad limit = %q", got)
+	}
+	if got := string(s.Execute(EncodeOp(OpScan, "a", "-1"))); got != "ERR bad scan limit -1" {
+		t.Fatalf("negative limit = %q", got)
+	}
+	// Scans go through the ordered path: they count as applied ops and
+	// invalidate the marshal cache like any other execution.
+	before := s.Applied()
+	s.Execute(EncodeOp(OpScan, "a", ""))
+	if s.Applied() != before+1 {
+		t.Fatal("scan not counted as an applied op")
+	}
+}

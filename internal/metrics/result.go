@@ -8,6 +8,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"rubin/internal/sim"
 )
 
 // SchemaVersion identifies the layout of a BENCH_*.json file. Bump it
@@ -20,8 +22,12 @@ const SchemaVersion = "rubin-bench/1"
 // series across runs.
 const (
 	MetricLatencyMean = "latency_mean" // unit: us
+	MetricLatencyP50  = "latency_p50"  // unit: us
+	MetricLatencyP90  = "latency_p90"  // unit: us
 	MetricLatencyP99  = "latency_p99"  // unit: us
+	MetricLatencyP999 = "latency_p999" // unit: us
 	MetricThroughput  = "throughput"   // unit: req/s (or krps where noted)
+	MetricGoodput     = "goodput"      // unit: op/s (measured completions)
 	MetricCommits     = "commits"      // unit: count
 	MetricSendFaults  = "send_faults"  // unit: count
 )
@@ -100,6 +106,37 @@ func (r *Result) AddSeries(name, metric, unit, transport, xLabel string) *Result
 	s := &ResultSeries{Name: name, Metric: metric, Unit: unit, Transport: transport, XLabel: xLabel}
 	r.Series = append(r.Series, s)
 	return s
+}
+
+// PercentileSeries bundles the latency-distribution curves of one
+// workload configuration — p50/p90/p99/p999 plus goodput — the
+// histogram-style result shape the traffic experiments (E9) emit per
+// sweep. All five share one name and X axis; they stay distinct series
+// so -compare diffs each percentile on its own.
+type PercentileSeries struct {
+	P50, P90, P99, P999 *ResultSeries
+	Goodput             *ResultSeries
+}
+
+// AddPercentileSeries appends the five-series percentile bundle.
+func (r *Result) AddPercentileSeries(name, transport, xLabel string) PercentileSeries {
+	return PercentileSeries{
+		P50:     r.AddSeries(name, MetricLatencyP50, "us", transport, xLabel),
+		P90:     r.AddSeries(name, MetricLatencyP90, "us", transport, xLabel),
+		P99:     r.AddSeries(name, MetricLatencyP99, "us", transport, xLabel),
+		P999:    r.AddSeries(name, MetricLatencyP999, "us", transport, xLabel),
+		Goodput: r.AddSeries(name, MetricGoodput, "op/s", transport, xLabel),
+	}
+}
+
+// Observe records one sweep point from percentile cuts of a latency
+// distribution plus the measured goodput.
+func (ps PercentileSeries) Observe(x float64, p50, p90, p99, p999 sim.Time, goodput float64) {
+	ps.P50.Add(x, p50.Micros())
+	ps.P90.Add(x, p90.Micros())
+	ps.P99.Add(x, p99.Micros())
+	ps.P999.Add(x, p999.Micros())
+	ps.Goodput.Add(x, goodput)
 }
 
 // GetSeries returns the series with the given name and metric, or nil.

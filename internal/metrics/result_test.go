@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"rubin/internal/sim"
 )
 
 func sampleResult() *Result {
@@ -132,5 +134,44 @@ func TestResultTables(t *testing.T) {
 	}
 	if !strings.Contains(tabs[1].Render(), "req/s") {
 		t.Fatalf("throughput table missing unit:\n%s", tabs[1].Render())
+	}
+}
+
+// TestPercentileSeriesBundle asserts the five-series percentile bundle
+// lands in the result with the documented metrics and units and records
+// points on every series.
+func TestPercentileSeriesBundle(t *testing.T) {
+	r := NewResult("E9", "traffic", "beyond the paper", 1, false)
+	ps := r.AddPercentileSeries("rate PBFT RUBIN", "rdma-rubin", "rate_ops_s")
+	ps.Observe(1000, 100*sim.Microsecond, 200*sim.Microsecond, 400*sim.Microsecond, 900*sim.Microsecond, 995.5)
+	ps.Observe(2000, 120*sim.Microsecond, 250*sim.Microsecond, 500*sim.Microsecond, 1100*sim.Microsecond, 1990.1)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 5 {
+		t.Fatalf("bundle added %d series, want 5", len(r.Series))
+	}
+	wantUnits := map[string]string{
+		MetricLatencyP50: "us", MetricLatencyP90: "us",
+		MetricLatencyP99: "us", MetricLatencyP999: "us",
+		MetricGoodput: "op/s",
+	}
+	for metric, unit := range wantUnits {
+		s := r.GetSeries("rate PBFT RUBIN", metric)
+		if s == nil {
+			t.Fatalf("missing metric %s", metric)
+		}
+		if s.Unit != unit || s.XLabel != "rate_ops_s" || s.Transport != "rdma-rubin" {
+			t.Fatalf("series %s mislabeled: %+v", metric, s)
+		}
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points", metric, len(s.Points))
+		}
+	}
+	if y := r.GetSeries("rate PBFT RUBIN", MetricLatencyP99).At(1000); y != 400 {
+		t.Fatalf("p99 at x=1000 is %v µs, want 400", y)
+	}
+	if y := r.GetSeries("rate PBFT RUBIN", MetricGoodput).At(2000); y != 1990.1 {
+		t.Fatalf("goodput at x=2000 is %v, want 1990.1", y)
 	}
 }

@@ -42,6 +42,10 @@ func (c *Client) ID() uint32 { return c.id }
 // Completed returns the number of finished invocations.
 func (c *Client) Completed() uint64 { return c.completed }
 
+// Outstanding returns the invocations still waiting for their F+1
+// matching replies — zero once a workload has fully drained.
+func (c *Client) Outstanding() int { return len(c.pending) }
+
 // SendErrors returns the surfaced request-send failures. A client
 // tolerates up to F failed sends per invocation (the quorum absorbs
 // them), but the failures are still counted, never discarded.

@@ -78,6 +78,17 @@ func (c *Client) Invoke(op []byte, done func([]byte)) {
 	c.sub[k].Invoke(op, done)
 }
 
+// InvokeRouted routes one operation by an explicit routing key instead
+// of the operation bytes. Instances execute independently against the
+// shared node-local state machine, so per-key semantics hold only when
+// every operation of a key is ordered by the same instance — routing by
+// the state-machine key (as the workload experiments do) guarantees
+// that even when unique values make each operation's bytes distinct.
+func (c *Client) InvokeRouted(route, op []byte, done func([]byte)) {
+	k := c.group.Config.Route(route)
+	c.sub[k].Invoke(op, done)
+}
+
 // Completed returns the number of finished invocations across instances.
 func (c *Client) Completed() uint64 {
 	var total uint64
@@ -85,4 +96,14 @@ func (c *Client) Completed() uint64 {
 		total += s.Completed()
 	}
 	return total
+}
+
+// Outstanding returns the invocations still awaiting quorum replies
+// across all sub-clients.
+func (c *Client) Outstanding() int {
+	n := 0
+	for _, s := range c.sub {
+		n += s.Outstanding()
+	}
+	return n
 }

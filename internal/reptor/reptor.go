@@ -210,6 +210,19 @@ func (g *Group) Start() error {
 // request keys, for cross-replica comparison in tests.
 func (g *Group) GlobalOrder(node int) []string { return g.Executors[node].order }
 
+// SendFaults sums the surfaced delivery failures across every replica of
+// every instance — the group-level counterpart of pbft.Cluster.SendFaults,
+// zero on a healthy network.
+func (g *Group) SendFaults() uint64 {
+	var n uint64
+	for _, reps := range g.Instances {
+		for _, rep := range reps {
+			n += rep.SendFaults()
+		}
+	}
+	return n
+}
+
 // Executor merges instance-local commits into the global total order on
 // one node.
 type Executor struct {

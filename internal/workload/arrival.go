@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rubin/internal/sim"
+)
+
+// ArrivalModel selects how operations enter the system.
+type ArrivalModel string
+
+// Arrival models.
+const (
+	// ModelClosed is the classic closed loop: each user keeps Window
+	// operations outstanding and issues the next one Think after a
+	// completion — offered load adapts to the system's speed.
+	ModelClosed ArrivalModel = "closed"
+	// ModelPoisson is an open loop: operations arrive in one global
+	// Poisson stream of the configured rate, regardless of completions.
+	ModelPoisson ArrivalModel = "poisson"
+	// ModelBursts is an on/off open loop: Poisson arrivals at the
+	// configured rate during On periods, silence during Off periods.
+	ModelBursts ArrivalModel = "bursts"
+)
+
+// Arrival configures the arrival process of a run.
+type Arrival struct {
+	Model ArrivalModel
+	// Window and Think parameterize ModelClosed.
+	Window int
+	Think  sim.Time
+	// Rate is the mean arrivals per second of the open-loop models
+	// (the on-phase rate for ModelBursts).
+	Rate float64
+	// On and Off are the burst phase durations of ModelBursts.
+	On, Off sim.Time
+}
+
+// Closed returns a closed-loop model: window outstanding operations per
+// user, think pause between completion and next issue.
+func Closed(window int, think sim.Time) Arrival {
+	return Arrival{Model: ModelClosed, Window: window, Think: think}
+}
+
+// Poisson returns an open-loop Poisson arrival stream of rate operations
+// per second.
+func Poisson(rate float64) Arrival {
+	return Arrival{Model: ModelPoisson, Rate: rate}
+}
+
+// Bursts returns an on/off open loop: Poisson arrivals at rate during on
+// periods, none during off periods.
+func Bursts(rate float64, on, off sim.Time) Arrival {
+	return Arrival{Model: ModelBursts, Rate: rate, On: on, Off: off}
+}
+
+// Validate checks the model parameters.
+func (a Arrival) Validate() error {
+	switch a.Model {
+	case ModelClosed:
+		if a.Window < 1 || a.Think < 0 {
+			return fmt.Errorf("workload: closed loop needs Window >= 1 and Think >= 0, got %d/%v", a.Window, a.Think)
+		}
+	case ModelPoisson:
+		if a.Rate <= 0 {
+			return fmt.Errorf("workload: poisson arrivals need Rate > 0, got %v", a.Rate)
+		}
+	case ModelBursts:
+		if a.Rate <= 0 || a.On < 1 || a.Off < 0 {
+			return fmt.Errorf("workload: bursts need Rate > 0, On >= 1ns and Off >= 0, got %v/%v/%v", a.Rate, a.On, a.Off)
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival model %q", a.Model)
+	}
+	return nil
+}
+
+func (a Arrival) String() string {
+	switch a.Model {
+	case ModelClosed:
+		return fmt.Sprintf("closed(window=%d, think=%v)", a.Window, a.Think)
+	case ModelPoisson:
+		return fmt.Sprintf("poisson(%.0f/s)", a.Rate)
+	case ModelBursts:
+		return fmt.Sprintf("bursts(%.0f/s, on=%v, off=%v)", a.Rate, a.On, a.Off)
+	}
+	return string(a.Model)
+}
+
+// arrivalClock turns the open-loop models into a deterministic sequence
+// of inter-arrival gaps. For bursts it tracks the position within the
+// current on period and charges every boundary crossed with one off
+// period of silence.
+type arrivalClock struct {
+	a     Arrival
+	phase sim.Time
+}
+
+// gap draws the delay until the next arrival.
+func (c *arrivalClock) gap(r *rand.Rand) sim.Time {
+	d := sim.Time(r.ExpFloat64() / c.a.Rate * float64(sim.Second))
+	if c.a.Model != ModelBursts {
+		return d
+	}
+	c.phase += d
+	for c.phase >= c.a.On {
+		c.phase -= c.a.On
+		d += c.a.Off
+	}
+	return d
+}

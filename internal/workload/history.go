@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"rubin/internal/sim"
+)
+
+// Sentinel observations recorded in Op.Result. They contain a NUL byte,
+// so no store value the driver writes can collide with them.
+const (
+	// Absent is what a read of a never-written (or deleted) key observes.
+	Absent = "\x00absent"
+	// Found is what a delete that removed an existing key observes.
+	Found = "\x00found"
+	// NotFound is what a delete of an absent key observes.
+	NotFound = "\x00notfound"
+)
+
+// Op is one recorded operation of a workload run.
+type Op struct {
+	User int
+	Kind Kind
+	Key  string
+	// Value is the value a Write stored.
+	Value string
+	// Result is the normalized observation: reads record the value seen
+	// (Absent for a missing key), deletes record Found or NotFound;
+	// writes and scans record nothing the checker uses.
+	Result string
+	// Arrive is when the operation entered the system. For open-loop
+	// arrivals it precedes Invoke by the queueing delay behind the
+	// user's previous operation, and latency is measured from here.
+	Arrive sim.Time
+	// Invoke and Return bound the real-time interval the linearizability
+	// check uses: the operation took effect at some instant inside it.
+	Invoke sim.Time
+	Return sim.Time
+	// Measured marks operations after the warmup.
+	Measured bool
+}
+
+// History is the complete record of a workload run, in completion order.
+type History struct {
+	ops []Op
+}
+
+// Add appends one completed operation.
+func (h *History) Add(op Op) { h.ops = append(h.ops, op) }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Ops returns the recorded operations in completion order. The slice is
+// shared; treat it as read-only.
+func (h *History) Ops() []Op { return h.ops }

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rubin/internal/sim"
+)
+
+// checkBudget bounds the search nodes the checker explores per key.
+// Linearizability checking is NP-hard in general; real histories from a
+// correct system check in near-linear time (see the greedy rule below),
+// so hitting the budget is reported as its own error instead of hanging
+// the suite.
+const checkBudget = 4 << 20
+
+// CheckLinearizable verifies that the recorded history is linearizable
+// under per-key register semantics: for every key there must exist a
+// total order of its reads, writes and deletes that (a) respects real
+// time — an operation that returned before another was invoked precedes
+// it — and (b) is legal for a register starting Absent: a read observes
+// the latest written value (Absent if none), a delete observes whether
+// the key existed and leaves it Absent. Scans are recorded but not
+// checked — they are multi-key observations outside the per-key register
+// model. Every operation must have completed (the driver guarantees it).
+func (h *History) CheckLinearizable() error {
+	byKey := map[string][]*Op{}
+	var keys []string
+	for i := range h.ops {
+		op := &h.ops[i]
+		if op.Kind == Scan {
+			continue
+		}
+		if op.Return < op.Invoke || op.Invoke < op.Arrive {
+			return fmt.Errorf("workload: malformed interval on %s of %q: arrive=%v invoke=%v return=%v",
+				op.Kind, op.Key, op.Arrive, op.Invoke, op.Return)
+		}
+		if _, ok := byKey[op.Key]; !ok {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := checkKey(key, byKey[key]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkKey searches for a legal linearization of one key's operations.
+func checkKey(key string, ops []*Op) error {
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Invoke != ops[j].Invoke {
+			return ops[i].Invoke < ops[j].Invoke
+		}
+		return ops[i].Return < ops[j].Return
+	})
+	c := &keyChecker{
+		ops:       ops,
+		done:      make([]bool, len(ops)),
+		remaining: len(ops),
+		visited:   map[string]bool{},
+		budget:    checkBudget,
+	}
+	if c.search(Absent) {
+		return nil
+	}
+	if c.budget < 0 {
+		return fmt.Errorf("workload: linearizability check of key %q exceeded its search budget (%d ops)", key, len(ops))
+	}
+	return fmt.Errorf("workload: history of key %q is not linearizable:\n%s", key, renderOps(ops))
+}
+
+// keyChecker is one key's Wing–Gong search state.
+type keyChecker struct {
+	ops       []*Op
+	done      []bool
+	remaining int
+	// visited memoizes failed (linearized-set, state) configurations so
+	// permutations of independent writes are explored once.
+	visited map[string]bool
+	budget  int
+}
+
+// search reports whether the not-yet-linearized operations admit a legal
+// order starting from the given register state.
+func (c *keyChecker) search(state string) bool {
+	if c.remaining == 0 {
+		return true
+	}
+	c.budget--
+	if c.budget < 0 {
+		return false
+	}
+	// minRet is the earliest return among remaining operations. An
+	// operation may linearize next ("minimal") iff it was invoked no
+	// later — otherwise some remaining op already returned before it
+	// began and must be ordered first.
+	minRet := sim.Time(math.MaxInt64)
+	for i, op := range c.ops {
+		if !c.done[i] && op.Return < minRet {
+			minRet = op.Return
+		}
+	}
+	// Greedy rule: a minimal operation that observes the current state
+	// without changing it (a read of the current value, a delete that
+	// correctly found nothing) linearizes immediately. This is complete,
+	// not only sound: such an op is concurrent with every other
+	// remaining op (none returned before it was invoked), and moving a
+	// state-preserving op to the front of any legal order keeps the
+	// order legal. It removes all branching over reads.
+	for i, op := range c.ops {
+		if c.done[i] || op.Invoke > minRet {
+			continue
+		}
+		if stateNeutral(op, state) {
+			c.done[i] = true
+			c.remaining--
+			ok := c.search(state)
+			c.done[i] = false
+			c.remaining++
+			return ok
+		}
+	}
+	// Branch over state-changing candidates.
+	memo := c.memoKey(state)
+	if c.visited[memo] {
+		return false
+	}
+	for i, op := range c.ops {
+		if c.done[i] || op.Invoke > minRet {
+			continue
+		}
+		next, ok := transition(op, state)
+		if !ok {
+			continue
+		}
+		c.done[i] = true
+		c.remaining--
+		found := c.search(next)
+		c.done[i] = false
+		c.remaining++
+		if found {
+			return true
+		}
+	}
+	c.visited[memo] = true
+	return false
+}
+
+// memoKey encodes the linearized set plus the register state.
+func (c *keyChecker) memoKey(state string) string {
+	b := make([]byte, (len(c.ops)+7)/8, (len(c.ops)+7)/8+len(state)+1)
+	for i, done := range c.done {
+		if done {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	b = append(b, 0)
+	b = append(b, state...)
+	return string(b)
+}
+
+// stateNeutral reports whether op observes state consistently without
+// changing it.
+func stateNeutral(op *Op, state string) bool {
+	switch op.Kind {
+	case Read:
+		return op.Result == state
+	case Delete:
+		return op.Result == NotFound && state == Absent
+	}
+	return false
+}
+
+// transition applies a state-changing operation, reporting whether its
+// recorded observation is consistent with the current state.
+func transition(op *Op, state string) (string, bool) {
+	switch op.Kind {
+	case Write:
+		return op.Value, true
+	case Delete:
+		if op.Result == Found && state != Absent {
+			return Absent, true
+		}
+	}
+	return "", false
+}
+
+// renderOps formats a key's operations for a violation report.
+func renderOps(ops []*Op) string {
+	var b strings.Builder
+	for i, op := range ops {
+		if i == 16 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(ops)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  u%-4d %-6s [%v, %v] wrote=%q saw=%s\n",
+			op.User, op.Kind, op.Invoke, op.Return, op.Value, display(op.Result))
+	}
+	return b.String()
+}
+
+// display renders an observation, replacing the sentinels.
+func display(result string) string {
+	switch result {
+	case Absent:
+		return "<absent>"
+	case Found:
+		return "<found>"
+	case NotFound:
+		return "<notfound>"
+	case "":
+		return "-"
+	}
+	return fmt.Sprintf("%q", result)
+}

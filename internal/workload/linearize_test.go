@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rubin/internal/sim"
+)
+
+// op builds one completed history entry with microsecond timestamps.
+func op(kind Kind, key string, value, result string, invUS, retUS int64) Op {
+	return Op{
+		User: 0, Kind: kind, Key: key, Value: value, Result: result,
+		Arrive: sim.Time(invUS) * sim.Microsecond,
+		Invoke: sim.Time(invUS) * sim.Microsecond,
+		Return: sim.Time(retUS) * sim.Microsecond,
+	}
+}
+
+func historyOf(ops ...Op) *History {
+	h := &History{}
+	for _, o := range ops {
+		h.Add(o)
+	}
+	return h
+}
+
+func TestCheckAcceptsSequentialHistory(t *testing.T) {
+	h := historyOf(
+		op(Read, "a", "", Absent, 0, 1),
+		op(Write, "a", "v1", "", 2, 3),
+		op(Read, "a", "", "v1", 4, 5),
+		op(Delete, "a", "", Found, 6, 7),
+		op(Read, "a", "", Absent, 8, 9),
+		op(Delete, "a", "", NotFound, 10, 11),
+		op(Write, "b", "w1", "", 0, 2), // independent key
+		op(Read, "b", "", "w1", 3, 4),
+	)
+	if err := h.CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckRejectsStaleRead is the injected-violation self-test: a read
+// strictly after two sequential writes must observe the second one.
+func TestCheckRejectsStaleRead(t *testing.T) {
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 1),
+		op(Write, "a", "v2", "", 2, 3),
+		op(Read, "a", "", "v1", 4, 5), // stale: v2 committed before it began
+	)
+	err := h.CheckLinearizable()
+	if err == nil {
+		t.Fatal("stale read accepted")
+	}
+	if !strings.Contains(err.Error(), `key "a"`) {
+		t.Fatalf("violation does not name the key: %v", err)
+	}
+}
+
+func TestCheckRejectsLostWrite(t *testing.T) {
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 1),
+		op(Read, "a", "", Absent, 2, 3), // the write vanished
+	)
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("lost write accepted")
+	}
+}
+
+func TestCheckRejectsPhantomValue(t *testing.T) {
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 1),
+		op(Read, "a", "", "v999", 2, 3), // never written
+	)
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("phantom read accepted")
+	}
+}
+
+func TestCheckRejectsWrongDeleteObservation(t *testing.T) {
+	// A delete of an existing key observing NotFound.
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 1),
+		op(Delete, "a", "", NotFound, 2, 3),
+	)
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("delete of a written key observed NotFound and was accepted")
+	}
+	// A delete of a never-written key observing Found.
+	h = historyOf(op(Delete, "a", "", Found, 0, 1))
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("delete of an absent key observed Found and was accepted")
+	}
+}
+
+func TestCheckAcceptsConcurrentAmbiguity(t *testing.T) {
+	// A read overlapping a write may see either the old or new value.
+	for _, seen := range []string{Absent, "v1"} {
+		h := historyOf(
+			op(Write, "a", "v1", "", 0, 10),
+			op(Read, "a", "", seen, 1, 9),
+		)
+		if err := h.CheckLinearizable(); err != nil {
+			t.Fatalf("concurrent read of %q rejected: %v", display(seen), err)
+		}
+	}
+	// Two concurrent writes followed by reads that agree on one order.
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 10),
+		op(Write, "a", "v2", "", 0, 10),
+		op(Read, "a", "", "v2", 11, 12),
+		op(Read, "a", "", "v2", 13, 14),
+	)
+	if err := h.CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsCircularReadOrder(t *testing.T) {
+	// Sequential reads observing v1 then v2 then v1 again with no
+	// intervening writer of v1: no write order explains both.
+	h := historyOf(
+		op(Write, "a", "v1", "", 0, 10),
+		op(Write, "a", "v2", "", 0, 10),
+		op(Read, "a", "", "v1", 11, 12),
+		op(Read, "a", "", "v2", 13, 14),
+		op(Read, "a", "", "v1", 15, 16),
+	)
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("circular read order accepted")
+	}
+}
+
+func TestCheckSkipsScans(t *testing.T) {
+	h := historyOf(
+		op(Scan, "k00", "", "anything", 0, 1),
+		op(Write, "a", "v1", "", 2, 3),
+		op(Read, "a", "", "v1", 4, 5),
+	)
+	if err := h.CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsMalformedIntervals(t *testing.T) {
+	h := historyOf(op(Write, "a", "v1", "", 5, 2)) // returns before invoke
+	if err := h.CheckLinearizable(); err == nil {
+		t.Fatal("malformed interval accepted")
+	}
+}
+
+func TestCheckHandlesManyConcurrentWrites(t *testing.T) {
+	// 24 fully concurrent unique writes plus a read pinning the winner:
+	// the memoized search must dispatch this without exploring 24!.
+	h := &History{}
+	for i := 0; i < 24; i++ {
+		h.Add(op(Write, "a", KeyName(i), "", 0, 100))
+	}
+	h.Add(op(Read, "a", "", KeyName(17), 101, 102))
+	if err := h.CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEmptyHistory(t *testing.T) {
+	if err := (&History{}).CheckLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisplayRendersSentinels(t *testing.T) {
+	for in, want := range map[string]string{
+		Absent: "<absent>", Found: "<found>", NotFound: "<notfound>",
+		"": "-", "v1": `"v1"`,
+	} {
+		if got := display(in); got != want {
+			t.Errorf("display(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

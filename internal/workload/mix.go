@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind classifies one workload operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Read Kind = iota + 1
+	Write
+	Delete
+	Scan
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Delete:
+		return "delete"
+	case Scan:
+		return "scan"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Mix is an operation mix in percent. The shares must sum to exactly
+// 100; any share may be zero.
+type Mix struct {
+	ReadPct   int
+	WritePct  int
+	DeletePct int
+	ScanPct   int
+}
+
+// Validate checks the shares.
+func (m Mix) Validate() error {
+	if m.ReadPct < 0 || m.WritePct < 0 || m.DeletePct < 0 || m.ScanPct < 0 {
+		return fmt.Errorf("workload: negative mix share in %v", m)
+	}
+	if sum := m.ReadPct + m.WritePct + m.DeletePct + m.ScanPct; sum != 100 {
+		return fmt.Errorf("workload: mix %v sums to %d, want 100", m, sum)
+	}
+	return nil
+}
+
+// Pick draws one operation kind.
+func (m Mix) Pick(r *rand.Rand) Kind {
+	v := r.Intn(100)
+	switch {
+	case v < m.ReadPct:
+		return Read
+	case v < m.ReadPct+m.WritePct:
+		return Write
+	case v < m.ReadPct+m.WritePct+m.DeletePct:
+		return Delete
+	default:
+		return Scan
+	}
+}
+
+func (m Mix) String() string {
+	return fmt.Sprintf("r%d/w%d/d%d/s%d", m.ReadPct, m.WritePct, m.DeletePct, m.ScanPct)
+}

@@ -1,0 +1,326 @@
+// Package workload generates deterministic client traffic for the
+// replicated experiments: skewed key distributions (uniform, Zipf,
+// hot-set), mixed operation types (reads, writes, deletes, scans),
+// closed- and open-loop arrival models (per-user windows, Poisson,
+// on/off bursts), and a driver that multiplexes thousands of logical
+// users over a bounded pool of client connections.
+//
+// Every operation is recorded into a History whose per-key register
+// linearizability can be checked after the run (History.CheckLinearizable)
+// — a workload run is also a correctness proof, not only a load curve.
+//
+// All randomness is drawn from a private source seeded by Config.Seed
+// and all timing from the simulation loop, so a given (code, seed,
+// config) triple reproduces byte-identical histories and latency
+// distributions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/metrics"
+	"rubin/internal/sim"
+)
+
+// Invoker submits one encoded kvstore operation through connection slot
+// conn (0 <= conn < Config.Conns). key is the operation's routing key —
+// the state-machine key it touches, or the scanned prefix — for systems
+// that shard the request space (Reptor's COP routes by it so a single
+// instance orders all operations of a key). done must fire exactly once
+// with the reply.
+type Invoker func(conn int, key string, op []byte, done func(result []byte))
+
+// Config parameterizes one workload run.
+type Config struct {
+	// Users is the number of logical users (sessions). Each user is a
+	// sequential process: up to Arrival.Window operations in flight in
+	// closed loop, exactly one in open loop — open-loop arrivals a busy
+	// user cannot serve yet queue behind it, and that queueing delay
+	// counts into the measured latency, so the load never quietly
+	// coordinates with the system's speed.
+	Users int
+	// Conns is the size of the client-connection pool the users are
+	// multiplexed over: user u submits through connection u % Conns.
+	Conns int
+	// Ops is the number of measured operations; Warmup operations run
+	// before them unmeasured. Both are recorded into the history — the
+	// correctness check covers everything.
+	Ops, Warmup int
+	// Keys picks the key of each operation.
+	Keys KeyChooser
+	// Mix picks the operation type.
+	Mix Mix
+	// Arrival is the arrival model.
+	Arrival Arrival
+	// ValueSize pads written values up to this many bytes. Values keep a
+	// unique "u<user>.<seq>" stem regardless, so every write in the
+	// history is distinguishable.
+	ValueSize int
+	// ScanLimit caps the pairs one scan returns (0 means 16).
+	ScanLimit int
+	// Seed seeds the workload's private random source.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Users < 1 {
+		return fmt.Errorf("workload: need at least one user, got %d", c.Users)
+	}
+	if c.Conns < 1 {
+		return fmt.Errorf("workload: need at least one connection, got %d", c.Conns)
+	}
+	if c.Ops < 1 || c.Warmup < 0 {
+		return fmt.Errorf("workload: need Ops >= 1 and Warmup >= 0, got %d/%d", c.Ops, c.Warmup)
+	}
+	if c.Keys == nil || c.Keys.Keys() < 1 {
+		return fmt.Errorf("workload: missing key distribution")
+	}
+	if c.ValueSize < 0 || c.ScanLimit < 0 {
+		return fmt.Errorf("workload: negative ValueSize/ScanLimit")
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	return c.Arrival.Validate()
+}
+
+// Driver runs one workload configuration against an Invoker on the
+// simulation loop, recording every operation.
+type Driver struct {
+	loop   *sim.Loop
+	cfg    Config
+	invoke Invoker
+	rng    *rand.Rand
+	hist   *History
+	rec    *metrics.Recorder
+
+	total     int
+	issued    int
+	completed int
+	measured  int
+	started   bool
+	startAt   sim.Time
+	endAt     sim.Time
+
+	// Open-loop bookkeeping: arrivals hitting a busy user queue behind it.
+	busy     []bool
+	queued   [][]sim.Time
+	nextUser int
+	arrivals int
+}
+
+// New validates the configuration and prepares a driver; Run executes it.
+func New(loop *sim.Loop, cfg Config, invoke Invoker) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if invoke == nil {
+		return nil, fmt.Errorf("workload: nil invoker")
+	}
+	if cfg.ScanLimit == 0 {
+		cfg.ScanLimit = 16
+	}
+	return &Driver{
+		loop: loop, cfg: cfg, invoke: invoke,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		hist:   &History{},
+		rec:    metrics.NewRecorder(),
+		total:  cfg.Ops + cfg.Warmup,
+		busy:   make([]bool, cfg.Users),
+		queued: make([][]sim.Time, cfg.Users),
+	}, nil
+}
+
+// Run drives the workload to completion (it runs the loop until the
+// event queue drains) and errors if any operation never finished.
+func (d *Driver) Run() error {
+	if d.cfg.Arrival.Model == ModelClosed {
+		d.launchClosed()
+	} else {
+		d.launchOpen()
+	}
+	d.loop.Run()
+	if d.completed != d.total {
+		return fmt.Errorf("workload: completed %d of %d operations", d.completed, d.total)
+	}
+	return nil
+}
+
+// launchClosed starts every user's window of outstanding operations;
+// each completion triggers the next issue after the think time.
+func (d *Driver) launchClosed() {
+	for u := 0; u < d.cfg.Users; u++ {
+		u := u
+		d.loop.Post(func() {
+			for i := 0; i < d.cfg.Arrival.Window && d.issued < d.total; i++ {
+				d.issue(u, d.loop.Now())
+			}
+		})
+	}
+}
+
+// launchOpen schedules the open-loop arrival stream, one event at a time
+// so the event heap never holds more than the next arrival.
+func (d *Driver) launchOpen() {
+	clock := &arrivalClock{a: d.cfg.Arrival}
+	var next func()
+	next = func() {
+		if d.arrivals == d.total {
+			return
+		}
+		d.arrivals++
+		d.loop.After(clock.gap(d.rng), func() {
+			d.arrive(d.loop.Now())
+			next()
+		})
+	}
+	next()
+}
+
+// arrive assigns an open-loop arrival to the next user round-robin.
+func (d *Driver) arrive(at sim.Time) {
+	u := d.nextUser
+	d.nextUser = (d.nextUser + 1) % d.cfg.Users
+	if d.busy[u] {
+		d.queued[u] = append(d.queued[u], at)
+		return
+	}
+	d.issue(u, at)
+}
+
+// issue builds and submits one operation for a user. arrive is when the
+// operation entered the system — before now when it queued behind the
+// user's previous operation.
+func (d *Driver) issue(user int, arrive sim.Time) {
+	seq := d.issued
+	d.issued++
+	measured := seq >= d.cfg.Warmup
+	if measured && !d.started {
+		d.started, d.startAt = true, arrive
+	}
+	if d.cfg.Arrival.Model != ModelClosed {
+		d.busy[user] = true
+	}
+	kind := d.cfg.Mix.Pick(d.rng)
+	key := KeyName(d.cfg.Keys.Pick(d.rng))
+	var raw []byte
+	var value string
+	switch kind {
+	case Read:
+		raw = kvstore.EncodeOp(kvstore.OpGet, key, "")
+	case Write:
+		value = d.writeValue(user, seq)
+		raw = kvstore.EncodeOp(kvstore.OpPut, key, value)
+	case Delete:
+		raw = kvstore.EncodeOp(kvstore.OpDelete, key, "")
+	case Scan:
+		// Scan the run of up to ten adjacent keys sharing the prefix.
+		key = key[:len(key)-1]
+		raw = kvstore.EncodeOp(kvstore.OpScan, key, strconv.Itoa(d.cfg.ScanLimit))
+	}
+	invokeAt := d.loop.Now()
+	d.invoke(user%d.cfg.Conns, key, raw, func(res []byte) {
+		d.complete(user, kind, key, value, arrive, invokeAt, measured, res)
+	})
+}
+
+// complete records one finished operation and schedules the user's next
+// work according to the arrival model.
+func (d *Driver) complete(user int, kind Kind, key, value string, arrive, invokeAt sim.Time, measured bool, res []byte) {
+	ret := d.loop.Now()
+	d.hist.Add(Op{
+		User: user, Kind: kind, Key: key, Value: value,
+		Result: normalize(kind, res),
+		Arrive: arrive, Invoke: invokeAt, Return: ret, Measured: measured,
+	})
+	d.completed++
+	if measured {
+		d.measured++
+		d.rec.Record(ret - arrive)
+		if ret > d.endAt {
+			d.endAt = ret
+		}
+	}
+	if d.cfg.Arrival.Model == ModelClosed {
+		if d.issued < d.total {
+			d.loop.After(d.cfg.Arrival.Think, func() {
+				if d.issued < d.total {
+					d.issue(user, d.loop.Now())
+				}
+			})
+		}
+		return
+	}
+	d.busy[user] = false
+	if q := d.queued[user]; len(q) > 0 {
+		at := q[0]
+		d.queued[user] = q[1:]
+		d.issue(user, at)
+	}
+}
+
+// writeValue builds the unique value of one write, padded to ValueSize.
+func (d *Driver) writeValue(user, seq int) string {
+	v := fmt.Sprintf("u%d.%d", user, seq)
+	if pad := d.cfg.ValueSize - len(v); pad > 0 {
+		v += strings.Repeat(".", pad)
+	}
+	return v
+}
+
+// normalize maps a kvstore reply onto the observation the history
+// records: reads record the value seen (Absent for a missing key),
+// deletes record Found/NotFound, writes and scans record nothing the
+// checker uses. Unexpected replies are recorded verbatim so they surface
+// as linearizability violations rather than vanishing.
+func normalize(kind Kind, res []byte) string {
+	s := string(res)
+	switch kind {
+	case Read:
+		if s == "NOTFOUND" {
+			return Absent
+		}
+		return s
+	case Delete:
+		switch s {
+		case "OK":
+			return Found
+		case "NOTFOUND":
+			return NotFound
+		}
+		return s
+	}
+	return ""
+}
+
+// History returns the complete operation record of the run.
+func (d *Driver) History() *History { return d.hist }
+
+// Latencies returns the recorder holding measured-operation latencies
+// (arrival to reply, so open-loop queueing is included).
+func (d *Driver) Latencies() *metrics.Recorder { return d.rec }
+
+// Issued returns how many operations have been submitted.
+func (d *Driver) Issued() int { return d.issued }
+
+// Completed returns how many operations have finished.
+func (d *Driver) Completed() int { return d.completed }
+
+// MeasuredOps returns how many finished operations were after warmup.
+func (d *Driver) MeasuredOps() int { return d.measured }
+
+// MeasuredSpan returns the measured window: the arrival of the first
+// measured operation and the completion of the last.
+func (d *Driver) MeasuredSpan() (start, end sim.Time) { return d.startAt, d.endAt }
+
+// Goodput returns completed measured operations per second over the
+// measured span — under open-loop overload this falls below the offered
+// rate, which is exactly the signal the E9 curves plot.
+func (d *Driver) Goodput() float64 {
+	return metrics.Throughput(d.measured, d.endAt-d.startAt)
+}
