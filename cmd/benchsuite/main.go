@@ -9,13 +9,17 @@
 //	go run ./cmd/benchsuite -quick -out /tmp/bench          # CI smoke
 //	go run ./cmd/benchsuite -experiments E5 -compare old/   # regression deltas
 //	go run ./cmd/benchsuite -validate /tmp/bench            # schema check only
+//	go run ./cmd/benchsuite -quick -experiments E9 -trace out.json
 //
 // Every run is deterministic: the same -seed, knobs and code produce
-// byte-identical JSON. -compare loads a previous run's files (a directory
-// of BENCH_*.json or a single file) and prints point-wise deltas sorted by
-// drift. -knob name=value overrides experiment parameters (repeatable);
-// the accepted knobs of each experiment are listed in docs/EXPERIMENTS.md
-// and echoed in each file's "config" object.
+// byte-identical JSON (including the -trace file). -compare loads a
+// previous run's files (a directory of BENCH_*.json or a single file) and
+// prints point-wise deltas sorted by drift. -knob name=value overrides
+// experiment parameters (repeatable); the accepted knobs of each
+// experiment are listed in docs/EXPERIMENTS.md and echoed in each file's
+// "config" object. -trace records per-request span trees and queue/CPU/
+// backlog time series across every measurement run and writes one Chrome
+// trace-event file (open in chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 	"rubin/internal/bench"
 	"rubin/internal/metrics"
+	"rubin/internal/obs"
 )
 
 // knobFlags collects repeated -knob name=value flags.
@@ -58,6 +63,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	compare := flag.String("compare", "", "previous run to diff against: a BENCH_*.json file or a directory of them")
 	validate := flag.String("validate", "", "validate every BENCH_*.json in this directory against the schema, then exit")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON of every measurement run to this file")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	listKnobs := flag.Bool("knobs", false, "list each experiment's accepted knobs with effective defaults and exit")
 	tables := flag.Bool("tables", true, "print human-readable tables alongside the JSON")
@@ -109,6 +115,9 @@ func main() {
 	rc.Seed = *seed
 	rc.Quick = *quick
 	rc.Knobs = knobs
+	if *trace != "" {
+		rc.Trace = obs.New(obs.Options{Spans: true})
+	}
 
 	failedCompares := 0
 	for _, name := range names {
@@ -138,6 +147,27 @@ func main() {
 	if failedCompares > 0 {
 		fmt.Fprintf(os.Stderr, "benchsuite: %d comparison(s) could not be made\n", failedCompares)
 	}
+	if *trace != "" {
+		if err := writeTrace(*trace, rc.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans, %d samples, %d runs; %d spans dropped)\n",
+			*trace, rc.Trace.SpanCount(), rc.Trace.SampleCount(), rc.Trace.RunCount(), rc.Trace.DroppedSpans())
+	}
+}
+
+// writeTrace exports the collected span trees and time series as a Chrome
+// trace-event file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectExperiments resolves the -experiments flag against the registry.

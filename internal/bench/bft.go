@@ -7,6 +7,7 @@ import (
 	"rubin/internal/kvstore"
 	"rubin/internal/metrics"
 	"rubin/internal/model"
+	"rubin/internal/obs"
 	"rubin/internal/pbft"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
@@ -27,6 +28,9 @@ type BFTConfig struct {
 	N, F     int
 	Clients  int // closed-loop clients (0 means 1)
 	Seed     int64
+	// Trace, when non-nil, records spans and samples into the shared
+	// -trace tracer; nil still aggregates the latency breakdown.
+	Trace *obs.Tracer
 }
 
 // DefaultBFTConfig returns the 4-replica, f=1, single-client setup.
@@ -56,6 +60,11 @@ type BFTResult struct {
 	P99Lat     sim.Time
 	Throughput float64 // requests per second across all clients
 	SendFaults uint64  // delivery failures surfaced by msgnet across replicas
+	// Breakdown attributes the measured latency to protocol phases
+	// (Breakdown.Total equals MeanLat up to integer-mean rounding).
+	Breakdown obs.Summary
+	// PeakQueueBytes is the deepest msgnet send queue any replica saw.
+	PeakQueueBytes int
 }
 
 // closedLoop is the measurement driver RunBFT and RunCOP share: each of
@@ -72,9 +81,11 @@ type closedLoop struct {
 
 // runClosedLoop drives the workload to completion on loop; makeOp builds
 // the idx-th operation of client ci (keys must be unique per (ci, idx)).
-func runClosedLoop(loop *sim.Loop, clients, requests, warmup, window int,
+// invoke returns the submitted request's trace id ("" when untraceable);
+// tr folds each finished request into the latency breakdown.
+func runClosedLoop(loop *sim.Loop, tr *obs.Tracer, clients, requests, warmup, window int,
 	makeOp func(ci, idx int) []byte,
-	invoke func(ci int, op []byte, done func([]byte))) closedLoop {
+	invoke func(ci int, op []byte, done func([]byte)) string) closedLoop {
 	cl := closedLoop{rec: metrics.NewRecorder()}
 	perClient := requests + warmup
 	started := false
@@ -88,17 +99,29 @@ func runClosedLoop(loop *sim.Loop, clients, requests, warmup, window int,
 			idx := sent
 			sent++
 			t0 := loop.Now()
-			invoke(ci, makeOp(ci, idx), func([]byte) {
+			var id string
+			id = invoke(ci, makeOp(ci, idx), func([]byte) {
 				done++
 				cl.done++
-				if done > warmup {
+				measured := done > warmup
+				if measured {
 					cl.rec.Record(loop.Now() - t0)
 					cl.endAt = loop.Now()
+				}
+				if tr != nil && id != "" {
+					tr.MarkReturn(id, loop.Now())
+					tr.Finish(id, measured)
 				}
 				if sent < perClient {
 					sendOne()
 				}
 			})
+			// Safe after the invoke: replies cross the simulated network,
+			// so done cannot have fired synchronously at this same event.
+			if tr != nil && id != "" {
+				tr.MarkArrive(id, t0)
+				tr.MarkInvoke(id, t0)
+			}
 		}
 		loop.Post(func() {
 			for i := 0; i < window && sent < perClient; i++ {
@@ -133,29 +156,35 @@ func RunBFT(cfg BFTConfig, params model.Params) (BFTResult, error) {
 	if err := cluster.Start(); err != nil {
 		return BFTResult{}, err
 	}
+	tr := benchTracer(cfg.Trace, fmt.Sprintf("PBFT %s N=%d clients=%d payload=%dB seed=%d",
+		cfg.Kind, cfg.N, clients, cfg.Payload, cfg.Seed))
+	cluster.SetTracer(tr)
 	cls := make([]*pbft.Client, clients)
 	for i := range cls {
 		if cls[i], err = cluster.AddClient(); err != nil {
 			return BFTResult{}, err
 		}
 	}
+	startSamplers(tr, cluster.Loop, cluster.Meshes, nil)
 
 	value := string(make([]byte, cfg.Payload))
-	res := runClosedLoop(cluster.Loop, clients, cfg.Requests, cfg.Warmup, cfg.Window,
+	res := runClosedLoop(cluster.Loop, tr, clients, cfg.Requests, cfg.Warmup, cfg.Window,
 		func(ci, idx int) []byte {
 			return kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("bench-%d-%06d", ci, idx), value)
 		},
-		func(ci int, op []byte, done func([]byte)) { cls[ci].Invoke(op, done) })
+		func(ci int, op []byte, done func([]byte)) string { return cls[ci].Invoke(op, done) })
 	if want := (cfg.Requests + cfg.Warmup) * clients; res.done != want {
 		return BFTResult{}, fmt.Errorf("bench: completed %d of %d requests", res.done, want)
 	}
 	return BFTResult{
-		Kind:       cfg.Kind,
-		Payload:    cfg.Payload,
-		MeanLat:    res.rec.Mean(),
-		P99Lat:     res.rec.Percentile(99),
-		Throughput: metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
-		SendFaults: cluster.SendFaults(),
+		Kind:           cfg.Kind,
+		Payload:        cfg.Payload,
+		MeanLat:        res.rec.Mean(),
+		P99Lat:         res.rec.Percentile(99),
+		Throughput:     metrics.Throughput(res.rec.Count(), res.endAt-res.startAt),
+		SendFaults:     cluster.SendFaults(),
+		Breakdown:      tr.Summary(),
+		PeakQueueBytes: cluster.PeakQueueBytes(),
 	}, nil
 }
 
@@ -233,6 +262,7 @@ func runE5(rc RunContext, res *metrics.Result) error {
 	if err != nil {
 		return err
 	}
+	base.Trace = rc.Trace
 	payloadsKB, err := ParseInts(cfg["payloads_kb"])
 	if err != nil {
 		return err

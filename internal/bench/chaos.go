@@ -51,6 +51,11 @@ type ChaosResult struct {
 	StateTransfers uint64 // completed by the restarted replica
 	SendFaults     uint64 // delivery failures surfaced by msgnet across replicas
 	PeakQueueBytes int    // deepest msgnet send queue observed on any replica
+	// PeakQueueBytesPerReplica is the per-replica send-queue high
+	// watermark (index = replica id): the fault timeline stresses
+	// replicas asymmetrically — the restarted replica absorbs a state
+	// snapshot and the partition dams up queues toward the cut-off node.
+	PeakQueueBytesPerReplica []int
 }
 
 // chaosTimeline returns the scripted fault events and the matching
@@ -174,15 +179,20 @@ func RunChaos(cfg ChaosConfig, params model.Params) (ChaosResult, error) {
 			return ChaosResult{}, fmt.Errorf("bench: phase %q committed nothing (cluster wedged — check payload/transport limits)", phases[i].Name)
 		}
 	}
+	perReplica := make([]int, len(cluster.Meshes))
+	for i, mesh := range cluster.Meshes {
+		perReplica[i] = mesh.PeakQueueBytes()
+	}
 	return ChaosResult{
-		Kind:           cfg.Kind,
-		N:              pcfg.N,
-		F:              pcfg.F,
-		Phases:         phases,
-		Trace:          sched.TraceString(),
-		StateTransfers: cluster.Replicas[0].StateTransfers(),
-		SendFaults:     cluster.SendFaults(),
-		PeakQueueBytes: cluster.PeakQueueBytes(),
+		Kind:                     cfg.Kind,
+		N:                        pcfg.N,
+		F:                        pcfg.F,
+		Phases:                   phases,
+		Trace:                    sched.TraceString(),
+		StateTransfers:           cluster.Replicas[0].StateTransfers(),
+		SendFaults:               cluster.SendFaults(),
+		PeakQueueBytes:           cluster.PeakQueueBytes(),
+		PeakQueueBytesPerReplica: perReplica,
 	}, nil
 }
 
@@ -267,6 +277,10 @@ func runE7(rc RunContext, res *metrics.Result) error {
 		counters.Add(0, float64(r.StateTransfers)) // state transfers completed
 		counters.Add(1, float64(r.SendFaults))     // surfaced delivery failures
 		counters.Add(2, float64(r.PeakQueueBytes)) // peak msgnet queue depth (bytes)
+		peakQ := res.AddSeries(name+" queue", metrics.MetricPeakQueueBytes, "bytes", name, "replica_index")
+		for i, q := range r.PeakQueueBytesPerReplica {
+			peakQ.Add(float64(i), float64(q))
+		}
 		res.SetConfig("cluster["+name+"]", fmt.Sprintf("%d replicas, f=%d", r.N, r.F))
 		res.SetNote("trace["+name+"]", r.Trace)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"rubin/internal/metrics"
 	"rubin/internal/model"
+	"rubin/internal/obs"
 )
 
 // RunContext carries everything an experiment run is parameterized by:
@@ -23,6 +24,12 @@ type RunContext struct {
 	// names of each experiment are listed in docs/EXPERIMENTS.md and
 	// echoed into Result.Config). Unknown knobs are rejected by Run.
 	Knobs map[string]string
+	// Trace, when non-nil, is the shared span tracer of a -trace suite
+	// run: every measurement run records its span tree and time-series
+	// samples into it for Chrome-trace export. It is not a knob and is
+	// not echoed into Result.Config — with Trace nil the experiments
+	// still aggregate the breakdown_* series through run-local tracers.
+	Trace *obs.Tracer
 }
 
 // DefaultRunContext returns the standard full-fidelity context: seed 1 and

@@ -7,6 +7,7 @@ import (
 	"rubin/internal/kvstore"
 	"rubin/internal/metrics"
 	"rubin/internal/model"
+	"rubin/internal/obs"
 	"rubin/internal/pbft"
 	"rubin/internal/reptor"
 	"rubin/internal/sim"
@@ -31,6 +32,9 @@ type COPConfig struct {
 	// hole-filling heartbeat (zero keeps the reptor defaults).
 	HeartbeatDelay sim.Time
 	HeartbeatMax   sim.Time
+	// Trace, when non-nil, records spans and samples into the shared
+	// -trace tracer; nil still aggregates the latency breakdown.
+	Trace *obs.Tracer
 }
 
 // DefaultCOPConfig returns the 4-replica, 4-instance, single-client setup.
@@ -71,6 +75,15 @@ type COPResult struct {
 	// the saturation signal that decides whether parallelizing the
 	// ordering stage can pay off at all.
 	LeaderCPU float64
+	// Breakdown attributes the measured latency to protocol phases;
+	// Breakdown.MergeWait is the executor's commit-to-merge barrier time
+	// (off the reply path, so it is not part of the partition).
+	Breakdown obs.Summary
+	// PeakBacklog is the most committed-but-unmerged batches any node's
+	// executor held at once — the transient counterpart of Backlog.
+	PeakBacklog int
+	// PeakQueueBytes is the deepest msgnet send queue any replica saw.
+	PeakQueueBytes int
 }
 
 // RunCOP measures ordering latency and throughput of a Reptor COP group
@@ -101,19 +114,23 @@ func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
 	if err := group.Start(); err != nil {
 		return COPResult{}, err
 	}
+	tr := benchTracer(cfg.Trace, fmt.Sprintf("COP %s K=%d N=%d clients=%d payload=%dB seed=%d",
+		cfg.Kind, cfg.Instances, cfg.N, clients, cfg.Payload, cfg.Seed))
+	group.SetTracer(tr)
 	cls := make([]*reptor.Client, clients)
 	for i := range cls {
 		if cls[i], err = group.AddClient(); err != nil {
 			return COPResult{}, err
 		}
 	}
+	startSamplers(tr, group.Loop, group.Meshes, group.Executors)
 
 	value := string(make([]byte, cfg.Payload))
-	res := runClosedLoop(group.Loop, clients, cfg.Requests, cfg.Warmup, cfg.Window,
+	res := runClosedLoop(group.Loop, tr, clients, cfg.Requests, cfg.Warmup, cfg.Window,
 		func(ci, idx int) []byte {
 			return kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("cop-%d-%06d", ci, idx), value)
 		},
-		func(ci int, op []byte, done func([]byte)) { cls[ci].Invoke(op, done) })
+		func(ci int, op []byte, done func([]byte)) string { return cls[ci].Invoke(op, done) })
 	if want := (cfg.Requests + cfg.Warmup) * clients; res.done != want {
 		return COPResult{}, fmt.Errorf("bench: COP completed %d of %d requests", res.done, want)
 	}
@@ -124,11 +141,14 @@ func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
 		}
 	}
 	var hbRounds, hbSlots uint64
-	backlog := 0
+	backlog, peakBacklog := 0, 0
 	for _, ex := range group.Executors {
 		hbRounds += ex.HeartbeatRounds()
 		hbSlots += ex.HeartbeatSlots()
 		backlog += ex.Backlog()
+		if pb := ex.PeakBacklog(); pb > peakBacklog {
+			peakBacklog = pb
+		}
 	}
 	return COPResult{
 		Kind:            cfg.Kind,
@@ -142,6 +162,9 @@ func RunCOP(cfg COPConfig, params model.Params) (COPResult, error) {
 		HeartbeatSlots:  hbSlots,
 		Backlog:         backlog,
 		LeaderCPU:       maxCPU,
+		Breakdown:       tr.Summary(),
+		PeakBacklog:     peakBacklog,
+		PeakQueueBytes:  group.PeakQueueBytes(),
 	}, nil
 }
 
@@ -278,12 +301,13 @@ func runE8(rc RunContext, res *metrics.Result) error {
 			mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "replicas")
 			p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "replicas")
 			tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "replicas")
+			bd := addBreakdownSeries(res, name, string(kind), "replicas")
 			for _, n := range k.ns {
 				cfg := BFTConfig{
 					Kind: kind, Payload: kb << 10,
 					Requests: k.requests, Warmup: k.warmup, Window: k.window,
 					Batch: k.batch, N: n, F: (n - 1) / 3, Clients: k.clients,
-					Seed: rc.Seed,
+					Seed: rc.Seed, Trace: rc.Trace,
 				}
 				r, err := RunBFT(cfg, rc.Model)
 				if err != nil {
@@ -292,6 +316,7 @@ func runE8(rc RunContext, res *metrics.Result) error {
 				mean.Add(float64(n), r.MeanLat.Micros())
 				p99.Add(float64(n), r.P99Lat.Micros())
 				tput.Add(float64(n), r.Throughput)
+				bd.observe(float64(n), r.Breakdown)
 			}
 		}
 	}
@@ -306,8 +331,10 @@ func runE8(rc RunContext, res *metrics.Result) error {
 			mean := res.AddSeries(name, metrics.MetricLatencyMean, "us", string(kind), "instances")
 			p99 := res.AddSeries(name, metrics.MetricLatencyP99, "us", string(kind), "instances")
 			tput := res.AddSeries(name, metrics.MetricThroughput, "req/s", string(kind), "instances")
-			hb := res.AddSeries(name, "heartbeat_slots", "count", string(kind), "instances")
-			cpu := res.AddSeries(name, "leader_cpu", "utilization", string(kind), "instances")
+			hb := res.AddSeries(name, metrics.MetricHeartbeatSlots, "count", string(kind), "instances")
+			cpu := res.AddSeries(name, metrics.MetricLeaderCPU, "utilization", string(kind), "instances")
+			bd := addBreakdownSeries(res, name, string(kind), "instances")
+			mw := res.AddSeries(name, metrics.MetricMergeWait, "us", string(kind), "instances")
 			for _, ki := range k.ks {
 				cfg := COPConfig{
 					Kind: kind, Instances: ki, Payload: kb << 10,
@@ -316,6 +343,7 @@ func runE8(rc RunContext, res *metrics.Result) error {
 					Seed:           rc.Seed,
 					HeartbeatDelay: sim.Time(k.hbUS) * sim.Microsecond,
 					HeartbeatMax:   sim.Time(k.hbMaxUS) * sim.Microsecond,
+					Trace:          rc.Trace,
 				}
 				r, err := RunCOP(cfg, rc.Model)
 				if err != nil {
@@ -330,6 +358,8 @@ func runE8(rc RunContext, res *metrics.Result) error {
 				tput.Add(float64(ki), r.Throughput)
 				hb.Add(float64(ki), float64(r.HeartbeatSlots))
 				cpu.Add(float64(ki), r.LeaderCPU)
+				bd.observe(float64(ki), r.Breakdown)
+				mw.Add(float64(ki), r.Breakdown.MergeWait.Micros())
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"rubin/internal/kvstore"
 	"rubin/internal/metrics"
 	"rubin/internal/model"
+	"rubin/internal/obs"
 	"rubin/internal/pbft"
 	"rubin/internal/reptor"
 	"rubin/internal/sim"
@@ -35,14 +36,30 @@ type TrafficConfig struct {
 	Zipf100   int // Zipf theta ×100 over the keyspace; 0 = uniform
 	Arrival   workload.Arrival
 	Seed      int64
+	// Trace, when non-nil, records spans and samples into the shared
+	// -trace tracer; nil still aggregates the latency breakdown.
+	Trace *obs.Tracer
 }
 
 // TrafficResult is one measurement point of E9.
 type TrafficResult struct {
 	P50, P90, P99, P999 sim.Time // latency percentiles, arrival to reply
+	Mean                sim.Time // mean latency (the breakdown partitions it)
 	Goodput             float64  // measured completions per second
 	Completed           int
 	HistoryOps          int
+	// Breakdown attributes the mean latency to protocol phases;
+	// Breakdown.Total equals Mean up to integer-mean rounding.
+	Breakdown obs.Summary
+	// PeakQueueBytes is the deepest msgnet send queue any replica saw.
+	PeakQueueBytes int
+	// COP-only executor health counters (zero for plain PBFT): heartbeat
+	// fill slots summed across nodes, the largest adaptive heartbeat delay
+	// any instance backed off to, and the deepest committed-but-unmerged
+	// backlog any node's executor held at once.
+	HeartbeatSlots    uint64
+	HeartbeatDelayMax sim.Time
+	PeakBacklog       int
 }
 
 // RunTraffic drives one workload configuration to completion, verifies
@@ -68,9 +85,17 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		ValueSize: cfg.ValueSize, Seed: cfg.Seed,
 	}
 
+	sysLabel := "PBFT"
+	if cfg.Instances > 0 {
+		sysLabel = fmt.Sprintf("COP-%d", cfg.Instances)
+	}
+	tr := benchTracer(cfg.Trace, fmt.Sprintf("E9 %s %s N=%d users=%d conns=%d seed=%d",
+		sysLabel, cfg.Kind, cfg.N, cfg.Users, cfg.Conns, cfg.Seed))
+
 	var loop *sim.Loop
 	var invoke workload.Invoker
 	var finish func() error
+	var health func(r *TrafficResult)
 	if cfg.Instances == 0 {
 		pcfg := pbft.DefaultConfig()
 		pcfg.N, pcfg.F = cfg.N, cfg.F
@@ -82,6 +107,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		if err := cluster.Start(); err != nil {
 			return TrafficResult{}, err
 		}
+		cluster.SetTracer(tr)
 		cls := make([]*pbft.Client, cfg.Conns)
 		for i := range cls {
 			if cls[i], err = cluster.AddClient(); err != nil {
@@ -89,8 +115,12 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 			}
 		}
 		loop = cluster.Loop
-		invoke = func(conn int, _ string, op []byte, done func([]byte)) {
-			cls[conn].Invoke(op, done)
+		startSamplers(tr, loop, cluster.Meshes, nil)
+		invoke = func(conn int, _ string, op []byte, done func([]byte)) string {
+			return cls[conn].Invoke(op, done)
+		}
+		health = func(r *TrafficResult) {
+			r.PeakQueueBytes = cluster.PeakQueueBytes()
 		}
 		finish = func() error {
 			if n := cluster.SendFaults(); n != 0 {
@@ -115,6 +145,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		if err := group.Start(); err != nil {
 			return TrafficResult{}, err
 		}
+		group.SetTracer(tr)
 		cls := make([]*reptor.Client, cfg.Conns)
 		for i := range cls {
 			if cls[i], err = group.AddClient(); err != nil {
@@ -122,10 +153,25 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 			}
 		}
 		loop = group.Loop
+		startSamplers(tr, loop, group.Meshes, group.Executors)
 		// COP routes by the state-machine key, so one instance orders
 		// every operation of a key (see reptor.Client.InvokeRouted).
-		invoke = func(conn int, key string, op []byte, done func([]byte)) {
-			cls[conn].InvokeRouted([]byte(key), op, done)
+		invoke = func(conn int, key string, op []byte, done func([]byte)) string {
+			return cls[conn].InvokeRouted([]byte(key), op, done)
+		}
+		health = func(r *TrafficResult) {
+			r.PeakQueueBytes = group.PeakQueueBytes()
+			for _, ex := range group.Executors {
+				r.HeartbeatSlots += ex.HeartbeatSlots()
+				if pb := ex.PeakBacklog(); pb > r.PeakBacklog {
+					r.PeakBacklog = pb
+				}
+				for i := 0; i < cfg.Instances; i++ {
+					if d := ex.HeartbeatDelay(i); d > r.HeartbeatDelayMax {
+						r.HeartbeatDelayMax = d
+					}
+				}
+			}
 		}
 		finish = func() error {
 			if n := group.SendFaults(); n != 0 {
@@ -149,6 +195,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 	if err != nil {
 		return TrafficResult{}, err
 	}
+	d.SetTracer(tr)
 	if err := d.Run(); err != nil {
 		return TrafficResult{}, err
 	}
@@ -159,13 +206,17 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		return TrafficResult{}, err
 	}
 	rec := d.Latencies()
-	return TrafficResult{
+	r := TrafficResult{
 		P50: rec.Percentile(50), P90: rec.Percentile(90),
 		P99: rec.Percentile(99), P999: rec.Percentile(99.9),
+		Mean:       rec.Mean(),
 		Goodput:    d.Goodput(),
 		Completed:  d.Completed(),
 		HistoryOps: d.History().Len(),
-	}, nil
+		Breakdown:  tr.Summary(),
+	}
+	health(&r)
+	return r, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -336,6 +387,52 @@ func e9Mix(readPct, scanPct, deletePct int, cop bool) workload.Mix {
 	return m
 }
 
+// e9Series bundles every series one E9 sweep combo reports: the
+// percentile/goodput bundle, the mean latency with its phase breakdown,
+// the msgnet send-queue high watermark, and — for COP systems only — the
+// executor health counters (heartbeat fill slots, the adaptive-delay
+// ceiling reached, the peak merge backlog) plus the commit-to-merge wait.
+type e9Series struct {
+	ps    metrics.PercentileSeries
+	mean  *metrics.ResultSeries
+	bd    breakdownSeries
+	peakQ *metrics.ResultSeries
+	// COP-only (nil for plain PBFT):
+	hbSlots *metrics.ResultSeries
+	hbDelay *metrics.ResultSeries
+	backlog *metrics.ResultSeries
+	mergeW  *metrics.ResultSeries
+}
+
+func addE9Series(res *metrics.Result, name, transport, xLabel string, cop bool) e9Series {
+	s := e9Series{
+		ps:    res.AddPercentileSeries(name, transport, xLabel),
+		mean:  res.AddSeries(name, metrics.MetricLatencyMean, "us", transport, xLabel),
+		bd:    addBreakdownSeries(res, name, transport, xLabel),
+		peakQ: res.AddSeries(name, metrics.MetricPeakQueueBytes, "bytes", transport, xLabel),
+	}
+	if cop {
+		s.hbSlots = res.AddSeries(name, metrics.MetricHeartbeatSlots, "count", transport, xLabel)
+		s.hbDelay = res.AddSeries(name, metrics.MetricHeartbeatDelay, "us", transport, xLabel)
+		s.backlog = res.AddSeries(name, metrics.MetricPeakBacklog, "count", transport, xLabel)
+		s.mergeW = res.AddSeries(name, metrics.MetricMergeWait, "us", transport, xLabel)
+	}
+	return s
+}
+
+func (s e9Series) observe(x float64, r TrafficResult) {
+	s.ps.Observe(x, r.P50, r.P90, r.P99, r.P999, r.Goodput)
+	s.mean.Add(x, r.Mean.Micros())
+	s.bd.observe(x, r.Breakdown)
+	s.peakQ.Add(x, float64(r.PeakQueueBytes))
+	if s.hbSlots != nil {
+		s.hbSlots.Add(x, float64(r.HeartbeatSlots))
+		s.hbDelay.Add(x, r.HeartbeatDelayMax.Micros())
+		s.backlog.Add(x, float64(r.PeakBacklog))
+		s.mergeW.Add(x, r.Breakdown.MergeWait.Micros())
+	}
+}
+
 func runE9(rc RunContext, res *metrics.Result) error {
 	k, _, err := resolveE9(rc)
 	if err != nil {
@@ -351,7 +448,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 			N: k.n, F: (k.n - 1) / 3,
 			Users: k.users, Conns: k.conns, Keys: k.keys,
 			ValueSize: k.valueBytes, Ops: k.ops, Warmup: k.warmup,
-			Seed: rc.Seed,
+			Seed: rc.Seed, Trace: rc.Trace,
 		}
 	}
 	// Sweep 1 (+2): open-loop arrival rate, Poisson — and, when enabled,
@@ -373,7 +470,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 		for _, kind := range e8Transports {
 			for _, sys := range systems {
 				name := fmt.Sprintf("%s %s %s", sweep.prefix, sys.label, e8Label(kind))
-				ps := res.AddPercentileSeries(name, string(kind), "rate_ops_s")
+				ss := addE9Series(res, name, string(kind), "rate_ops_s", sys.instances > 0)
 				for _, rate := range k.rates {
 					cfg := base(kind, sys)
 					cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
@@ -383,7 +480,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 					if err != nil {
 						return fmt.Errorf("%s=%d %s %s: %w", sweep.prefix, rate, sys.label, kind, err)
 					}
-					ps.Observe(float64(rate), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+					ss.observe(float64(rate), r)
 				}
 			}
 		}
@@ -392,7 +489,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 	for _, kind := range e8Transports {
 		for _, sys := range systems {
 			name := fmt.Sprintf("skew %s %s", sys.label, e8Label(kind))
-			ps := res.AddPercentileSeries(name, string(kind), "zipf_theta_x100")
+			ss := addE9Series(res, name, string(kind), "zipf_theta_x100", sys.instances > 0)
 			for _, skew := range k.skews {
 				cfg := base(kind, sys)
 				cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
@@ -402,7 +499,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 				if err != nil {
 					return fmt.Errorf("skew=%d %s %s: %w", skew, sys.label, kind, err)
 				}
-				ps.Observe(float64(skew), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+				ss.observe(float64(skew), r)
 			}
 		}
 	}
@@ -410,7 +507,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 	for _, kind := range e8Transports {
 		for _, sys := range systems {
 			name := fmt.Sprintf("mix %s %s", sys.label, e8Label(kind))
-			ps := res.AddPercentileSeries(name, string(kind), "read_pct")
+			ss := addE9Series(res, name, string(kind), "read_pct", sys.instances > 0)
 			for _, readPct := range k.readPcts {
 				cfg := base(kind, sys)
 				cfg.Mix = e9Mix(readPct, k.scanPct, k.deletePct, sys.instances > 0)
@@ -420,7 +517,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 				if err != nil {
 					return fmt.Errorf("read_pct=%d %s %s: %w", readPct, sys.label, kind, err)
 				}
-				ps.Observe(float64(readPct), r.P50, r.P90, r.P99, r.P999, r.Goodput)
+				ss.observe(float64(readPct), r)
 			}
 		}
 	}

@@ -30,6 +30,23 @@ const (
 	MetricGoodput     = "goodput"      // unit: op/s (measured completions)
 	MetricCommits     = "commits"      // unit: count
 	MetricSendFaults  = "send_faults"  // unit: count
+
+	// Latency-attribution metrics (internal/obs). The five breakdown
+	// phases partition the measured end-to-end latency: their per-point
+	// sum equals latency_mean.
+	MetricBreakdownQueue = "breakdown_queue" // unit: us (client-side queueing)
+	MetricBreakdownOrder = "breakdown_order" // unit: us (leader ordering CPU)
+	MetricBreakdownNet   = "breakdown_net"   // unit: us (wire + agreement rounds)
+	MetricBreakdownMerge = "breakdown_merge" // unit: us (COP merge on reply path: 0)
+	MetricBreakdownExec  = "breakdown_exec"  // unit: us (exec on reply path: 0)
+	MetricMergeWait      = "merge_wait"      // unit: us (COP commit->merge, off reply path)
+
+	// Pressure metrics exported by E7/E8/E9.
+	MetricPeakQueueBytes = "peak_queue_bytes" // unit: bytes (msgnet high watermark)
+	MetricHeartbeatSlots = "heartbeat_slots"  // unit: count (COP filler proposals)
+	MetricHeartbeatDelay = "heartbeat_delay"  // unit: us (adaptive heartbeat backoff)
+	MetricPeakBacklog    = "peak_backlog"     // unit: count (executor merge backlog)
+	MetricLeaderCPU      = "leader_cpu"       // unit: utilization (busiest node CPU)
 )
 
 // ResultSeries is one named curve of an experiment result: points share an
@@ -299,7 +316,9 @@ type Delta struct {
 // Compare matches series of two results by (name, metric) and points by X,
 // returning point-wise deltas. Series or points present on one side only
 // are skipped — the comparison reports drift of the overlap, not coverage.
-// The results must be the same experiment and schema.
+// The results must be the same experiment and schema, and a matched
+// series must keep its unit: a unit change would make every percentage
+// meaningless, so it is an error rather than a silently absurd delta.
 func Compare(old, new *Result) ([]Delta, error) {
 	if old.Schema != new.Schema {
 		return nil, fmt.Errorf("metrics: comparing schema %q against %q", new.Schema, old.Schema)
@@ -312,6 +331,10 @@ func Compare(old, new *Result) ([]Delta, error) {
 		os := old.GetSeries(ns.Name, ns.Metric)
 		if os == nil {
 			continue
+		}
+		if os.Unit != ns.Unit {
+			return nil, fmt.Errorf("metrics: series (%s, %s) changed unit %q -> %q",
+				ns.Name, ns.Metric, os.Unit, ns.Unit)
 		}
 		for _, p := range ns.Points {
 			oldY := os.At(p.X)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"rubin/internal/fabric"
+	"rubin/internal/obs"
 	"rubin/internal/transport"
 )
 
@@ -130,11 +131,12 @@ func (o Options) maxWhole() int { return o.Transport.MaxMessage - wholeHeaderLen
 // cluster orchestration holds on to across replica restarts — peers
 // survive a replica crash and are re-attached (or re-dialed) on recovery.
 type Mesh struct {
-	node  *fabric.Node
-	kind  transport.Kind
-	stack transport.Stack
-	opts  Options
-	peers []*Peer
+	node   *fabric.Node
+	kind   transport.Kind
+	stack  transport.Stack
+	opts   Options
+	peers  []*Peer
+	tracer *obs.Tracer
 }
 
 // NewMesh opens a messaging endpoint of the requested backend kind on a
@@ -158,6 +160,11 @@ func (m *Mesh) Kind() transport.Kind { return m.kind }
 
 // Options returns the mesh configuration.
 func (m *Mesh) Options() Options { return m.opts }
+
+// SetTracer attaches an observability tracer: with span recording on,
+// peers emit a "sendq" span for every message that waited in a class
+// queue before reaching the wire. A nil tracer detaches.
+func (m *Mesh) SetTracer(t *obs.Tracer) { m.tracer = t }
 
 // Listen accepts inbound peers on a port.
 func (m *Mesh) Listen(port int, accept func(*Peer)) error {
@@ -201,6 +208,17 @@ func (m *Mesh) PeakQueueBytes() int {
 		}
 	}
 	return peak
+}
+
+// QueueBytes returns the bytes currently waiting in the send queues of
+// all peers — the instantaneous counterpart of PeakQueueBytes, sampled
+// by the observability layer's queue-depth time series.
+func (m *Mesh) QueueBytes() int {
+	n := 0
+	for _, p := range m.peers {
+		n += p.queueBytes
+	}
+	return n
 }
 
 // SendErrors sums the surfaced send failures across this mesh's peers.

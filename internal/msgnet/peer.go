@@ -5,6 +5,7 @@ import (
 
 	"rubin/internal/auth"
 	"rubin/internal/fabric"
+	"rubin/internal/sim"
 	"rubin/internal/transport"
 )
 
@@ -19,6 +20,11 @@ type outItem struct {
 	index  uint32
 	offset int
 	prev   auth.Digest
+
+	// Set only while span recording is on: the enqueue instant, so the
+	// final dequeue can emit a send-queue-wait span.
+	traced bool
+	enqAt  sim.Time
 }
 
 // inStream is the reassembly state of one inbound chunked message.
@@ -175,6 +181,9 @@ func (p *Peer) Send(class Class, msg []byte) error {
 		it.msg = encodeWhole(class, msg)
 		p.queueFrames++
 	}
+	if p.mesh.tracer.SpansEnabled() {
+		it.traced, it.enqAt = true, p.mesh.node.Loop().Now()
+	}
 	p.queues[class] = append(p.queues[class], it)
 	p.queueBytes += len(it.msg)
 	if p.queueBytes > p.peakQueueBytes {
@@ -245,6 +254,7 @@ func (p *Peer) nextFrame() ([]byte, bool) {
 			// it.msg is already the encoded whole frame.
 			p.queues[cls] = q[1:]
 			p.queueBytes -= len(it.msg)
+			p.traceDequeue(it, Class(cls))
 			return it.msg, true
 		}
 		end := it.offset + p.mesh.opts.chunkPayload()
@@ -261,10 +271,25 @@ func (p *Peer) nextFrame() ([]byte, bool) {
 		p.queueBytes -= len(payload)
 		if it.index == it.count {
 			p.queues[cls] = q[1:]
+			p.traceDequeue(it, Class(cls))
 		}
 		return f, true
 	}
 	return nil, false
+}
+
+// traceDequeue emits the send-queue-wait span of a fully dequeued item.
+// Zero-wait messages (dequeued at their enqueue instant, the common case
+// off saturation) are skipped — the trace shows contention, not traffic.
+func (p *Peer) traceDequeue(it *outItem, cls Class) {
+	if !it.traced {
+		return
+	}
+	now := p.mesh.node.Loop().Now()
+	if now > it.enqAt {
+		p.mesh.tracer.Span("msgnet", "sendq "+cls.String(),
+			p.mesh.node.Name()+"->"+p.Remote().Name(), "", it.enqAt, now)
+	}
 }
 
 // signalWritable fires OnWritable once the queue has drained to the low

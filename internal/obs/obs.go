@@ -1,0 +1,393 @@
+// Package obs is the observability layer of the simulated stack: causal
+// per-request tracing, latency attribution and time-series sampling, all
+// on the deterministic virtual clock.
+//
+// Because every component runs on one sim.Loop, tracing here is perfectly
+// reproducible: the same (code, seed, config) triple produces
+// byte-identical span streams, so latency attribution can be diffed PR
+// over PR exactly like the BENCH_*.json throughput files already are.
+//
+// The central type is Tracer. A nil *Tracer is the disabled state: every
+// method nil-checks and returns immediately, so instrumented components
+// guard their call sites (`if r.tracer != nil { ... }`) and pay nothing —
+// not even the request-key formatting — when observability is off.
+//
+// A Tracer does two jobs:
+//
+//   - Latency attribution: per-request milestone marks (arrive, invoke,
+//     leader receipt, proposal, commit, return) are folded by Finish into
+//     a strict phase partition — queue, order, net, merge, exec — whose
+//     sum equals the end-to-end latency by construction (milestones are
+//     clamped monotone, phases are the gaps). The per-phase recorders
+//     feed the breakdown_* series of experiments E8/E9.
+//
+//   - Span/counter recording (Options.Spans): finished requests emit a
+//     span tree, components emit extra spans (msgnet send-queue waits,
+//     the COP executor's merge-waits) and samplers emit counter points,
+//     all into fixed-size ring buffers exported as a Chrome trace-event
+//     file (chrome://tracing, Perfetto) via WriteChromeTrace.
+package obs
+
+import (
+	"rubin/internal/metrics"
+	"rubin/internal/sim"
+)
+
+// DefaultSpanCap is the ring-buffer capacity used when Options.SpanCap is
+// zero. When a run emits more spans (or samples) than this, the oldest
+// are dropped — deterministically, since insertion order is virtual-time
+// order.
+const DefaultSpanCap = 1 << 16
+
+// Options configures a Tracer.
+type Options struct {
+	// Spans retains span and counter events for Chrome-trace export. Off,
+	// the tracer still aggregates the latency breakdown but stores no
+	// per-event data beyond the in-flight milestone marks.
+	Spans bool
+	// SpanCap bounds the span and sample ring buffers (0 = DefaultSpanCap).
+	SpanCap int
+}
+
+// Span is one completed interval on the virtual clock.
+type Span struct {
+	Run   int    // 1-based run (sweep point) index; 0 before any BeginRun
+	Layer string // component tag: "client", "pbft", "msgnet", "reptor", ...
+	Name  string // what happened, e.g. "order", "merge-wait"
+	Node  string // where it happened ("" = request-level, no single node)
+	Trace string // request key this span belongs to ("" = standalone)
+	Start sim.Time
+	End   sim.Time
+}
+
+// Sample is one counter observation on the virtual clock.
+type Sample struct {
+	Run   int
+	Name  string // counter name, e.g. "msgnet_queue_bytes"
+	Node  string
+	At    sim.Time
+	Value float64
+}
+
+// Milestone bits of reqMarks.set.
+const (
+	hasArrive = 1 << iota
+	hasInvoke
+	hasLeaderRecv
+	hasPropose
+	hasCommit
+	hasReturn
+)
+
+// reqMarks holds the in-flight milestones of one request. Marks are
+// first-wins: the simulation loop fires events in virtual-time order, so
+// the first call (e.g. the first replica to commit) is the earliest.
+type reqMarks struct {
+	arrive, invoke, leaderRecv, propose, commit, ret sim.Time
+	set                                              uint8
+}
+
+// Tracer collects milestone marks, spans and samples for one benchmark
+// process. It is not safe for concurrent use — like everything else in
+// the repository it lives on the single-threaded simulation loop.
+type Tracer struct {
+	spansOn bool
+
+	marks map[string]*reqMarks
+
+	queue, order, net, merge, exec, total *metrics.Recorder
+	mergeWait                             *metrics.Recorder
+
+	runs    []string
+	spans   *ring[Span]
+	samples *ring[Sample]
+}
+
+// New creates an enabled tracer. The disabled state is a nil *Tracer, not
+// an Options combination: nil is what makes the off path a true no-op.
+func New(opts Options) *Tracer {
+	t := &Tracer{
+		spansOn:   opts.Spans,
+		marks:     make(map[string]*reqMarks),
+		queue:     metrics.NewRecorder(),
+		order:     metrics.NewRecorder(),
+		net:       metrics.NewRecorder(),
+		merge:     metrics.NewRecorder(),
+		exec:      metrics.NewRecorder(),
+		total:     metrics.NewRecorder(),
+		mergeWait: metrics.NewRecorder(),
+	}
+	if opts.Spans {
+		cap := opts.SpanCap
+		if cap <= 0 {
+			cap = DefaultSpanCap
+		}
+		t.spans = newRing[Span](cap)
+		t.samples = newRing[Sample](cap)
+	}
+	return t
+}
+
+// SpansEnabled reports whether span/counter recording is on. Components
+// use it to skip the bookkeeping (map writes, label formatting) that only
+// exists to feed the exporter.
+func (t *Tracer) SpansEnabled() bool { return t != nil && t.spansOn }
+
+// BeginRun starts a new run (one sweep point of an experiment): it resets
+// the breakdown aggregation and the in-flight marks, and gives subsequent
+// spans and samples a fresh process id in the exported trace. The label
+// becomes the process name in chrome://tracing.
+func (t *Tracer) BeginRun(label string) {
+	if t == nil {
+		return
+	}
+	t.runs = append(t.runs, label)
+	t.marks = make(map[string]*reqMarks)
+	t.queue.Reset()
+	t.order.Reset()
+	t.net.Reset()
+	t.merge.Reset()
+	t.exec.Reset()
+	t.total.Reset()
+	t.mergeWait.Reset()
+}
+
+// run returns the current 1-based run index.
+func (t *Tracer) run() int { return len(t.runs) }
+
+// marksFor returns (creating if needed) the milestone record of a request.
+func (t *Tracer) marksFor(key string) *reqMarks {
+	m := t.marks[key]
+	if m == nil {
+		m = &reqMarks{}
+		t.marks[key] = m
+	}
+	return m
+}
+
+// MarkArrive records when the operation entered the system — before the
+// invoke when it queued behind the user's previous operation (open loop).
+func (t *Tracer) MarkArrive(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasArrive == 0 {
+		m.arrive, m.set = at, m.set|hasArrive
+	}
+}
+
+// MarkInvoke records when the client submitted the request to the group.
+func (t *Tracer) MarkInvoke(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasInvoke == 0 {
+		m.invoke, m.set = at, m.set|hasInvoke
+	}
+}
+
+// MarkLeaderRecv records the leader accepting the request for batching.
+func (t *Tracer) MarkLeaderRecv(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasLeaderRecv == 0 {
+		m.leaderRecv, m.set = at, m.set|hasLeaderRecv
+	}
+}
+
+// MarkPropose records the instant the leader's proposal carrying this
+// request left (after the ordering-CPU service completed).
+func (t *Tracer) MarkPropose(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasPropose == 0 {
+		m.propose, m.set = at, m.set|hasPropose
+	}
+}
+
+// MarkCommit records the earliest replica committing-and-executing the
+// request (the instant its reply leaves; first-wins keeps the earliest).
+func (t *Tracer) MarkCommit(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasCommit == 0 {
+		m.commit, m.set = at, m.set|hasCommit
+	}
+}
+
+// MarkReturn records the client accepting its F+1 reply quorum.
+func (t *Tracer) MarkReturn(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasReturn == 0 {
+		m.ret, m.set = at, m.set|hasReturn
+	}
+}
+
+// clampMark returns the milestone if it is set and not before floor, and
+// floor otherwise — the monotone clamp that makes the phase partition sum
+// exactly to the end-to-end latency even when a milestone was never
+// observed (e.g. a request re-proposed through a view change).
+func clampMark(v sim.Time, has bool, floor sim.Time) sim.Time {
+	if !has || v < floor {
+		return floor
+	}
+	return v
+}
+
+// Finish finalizes one request: its milestones are clamped monotone
+// (arrive <= invoke <= leader-recv <= propose <= commit/exec <= return),
+// folded into the breakdown recorders when the operation was measured,
+// and — with span recording on — emitted as a span tree. The marks entry
+// is dropped, so a long -trace run's memory stays bounded by the requests
+// actually in flight. Finishing an unknown key is a no-op.
+func (t *Tracer) Finish(key string, measured bool) {
+	if t == nil {
+		return
+	}
+	m := t.marks[key]
+	if m == nil {
+		return
+	}
+	delete(t.marks, key)
+	if m.set&(hasArrive|hasInvoke) == 0 {
+		return // nothing client-side was ever marked; unattributable
+	}
+	a := m.arrive
+	if m.set&hasArrive == 0 {
+		a = m.invoke
+	}
+	i := clampMark(m.invoke, m.set&hasInvoke != 0, a)
+	s := clampMark(m.leaderRecv, m.set&hasLeaderRecv != 0, i)
+	p := clampMark(m.propose, m.set&hasPropose != 0, s)
+	c := clampMark(m.commit, m.set&hasCommit != 0, p)
+	x := c // exec completes at the commit instant; see Summary.Exec
+	r := clampMark(m.ret, m.set&hasReturn != 0, x)
+	if measured {
+		t.queue.Record(i - a)
+		t.order.Record(p - s)
+		t.net.Record((s - i) + (c - p) + (r - x))
+		t.merge.Record(0) // COP's merge barrier is off the reply path
+		t.exec.Record(x - c)
+		t.total.Record(r - a)
+	}
+	if !t.spansOn {
+		return
+	}
+	run := t.run()
+	t.spans.push(Span{Run: run, Layer: "client", Name: "request", Trace: key, Start: a, End: r})
+	sub := []Span{
+		{Layer: "client", Name: "queue", Start: a, End: i},
+		{Layer: "msgnet", Name: "req-net", Start: i, End: s},
+		{Layer: "pbft", Name: "order", Start: s, End: p},
+		{Layer: "pbft", Name: "agree", Start: p, End: c},
+		{Layer: "msgnet", Name: "reply-net", Start: x, End: r},
+	}
+	for _, sp := range sub {
+		if sp.End > sp.Start {
+			sp.Run, sp.Trace = run, key
+			t.spans.push(sp)
+		}
+	}
+}
+
+// Span records one standalone interval (when span recording is on).
+func (t *Tracer) Span(layer, name, node, trace string, start, end sim.Time) {
+	if t == nil || !t.spansOn {
+		return
+	}
+	t.spans.push(Span{Run: t.run(), Layer: layer, Name: name, Node: node, Trace: trace, Start: start, End: end})
+}
+
+// Sample records one counter observation (when span recording is on).
+func (t *Tracer) Sample(name, node string, at sim.Time, value float64) {
+	if t == nil || !t.spansOn {
+		return
+	}
+	t.samples.push(Sample{Run: t.run(), Name: name, Node: node, At: at, Value: value})
+}
+
+// RecordMergeWait feeds one committed-to-merged delay of the COP
+// executor. The merge barrier is off the reply path (replies leave at
+// commit time), so this wait is reported as its own series rather than a
+// slice of the request-latency partition.
+func (t *Tracer) RecordMergeWait(d sim.Time) {
+	if t == nil {
+		return
+	}
+	t.mergeWait.Record(d)
+}
+
+// Summary is the per-run latency attribution: mean widths of the phase
+// partition over the measured requests. Queue+Order+Net+Merge+Exec ==
+// Total by construction (up to float rounding in downstream conversions).
+//
+// Two phases are structurally zero in the current stack and are reported
+// anyway so the accounting is visibly exhaustive rather than silently
+// incomplete: Exec, because the cost model charges execution CPU
+// asynchronously (replies leave at the commit instant, execution time
+// surfaces as node CPU utilization, not reply delay), and Merge, because
+// COP's merge barrier orders the global log behind the replies rather
+// than in front of them — the observed merge-wait is in MergeWait.
+type Summary struct {
+	Count                                 int
+	Queue, Order, Net, Merge, Exec, Total sim.Time
+	MergeWait                             sim.Time
+	MergeCount                            int
+}
+
+// Summary returns the breakdown means of the current run.
+func (t *Tracer) Summary() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	return Summary{
+		Count: t.total.Count(),
+		Queue: t.queue.Mean(), Order: t.order.Mean(), Net: t.net.Mean(),
+		Merge: t.merge.Mean(), Exec: t.exec.Mean(), Total: t.total.Mean(),
+		MergeWait:  t.mergeWait.Mean(),
+		MergeCount: t.mergeWait.Count(),
+	}
+}
+
+// RunCount returns how many measurement runs recorded into this tracer.
+func (t *Tracer) RunCount() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.runs)
+}
+
+// SpanCount returns the spans currently retained (tests, export stats).
+func (t *Tracer) SpanCount() int {
+	if t == nil || t.spans == nil {
+		return 0
+	}
+	return t.spans.len()
+}
+
+// SampleCount returns the samples currently retained.
+func (t *Tracer) SampleCount() int {
+	if t == nil || t.samples == nil {
+		return 0
+	}
+	return t.samples.len()
+}
+
+// DroppedSpans returns how many spans the ring evicted.
+func (t *Tracer) DroppedSpans() uint64 {
+	if t == nil || t.spans == nil {
+		return 0
+	}
+	return t.spans.dropped()
+}

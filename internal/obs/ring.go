@@ -1,0 +1,41 @@
+package obs
+
+// ring is a fixed-capacity FIFO that overwrites its oldest element when
+// full. Spans and samples are pushed in virtual-time order, so eviction
+// deterministically drops the oldest events first — a bounded trace of a
+// long run keeps its tail, which is what a latency investigation wants.
+type ring[T any] struct {
+	buf   []T
+	start int
+	n     int
+	drop  uint64
+}
+
+func newRing[T any](cap int) *ring[T] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &ring[T]{buf: make([]T, cap)}
+}
+
+func (r *ring[T]) push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+	r.drop++
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) dropped() uint64 { return r.drop }
+
+// each visits the retained elements oldest-first.
+func (r *ring[T]) each(fn func(T)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.start+i)%len(r.buf)])
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import "rubin/internal/sim"
+
+// SamplerGroup runs periodic observation callbacks on the simulation loop
+// without keeping the simulation alive: benchmarks run their loop until
+// the event queue drains, so a naively re-arming ticker would never let
+// it drain. Each tick re-arms only while the loop holds events other than
+// the group's own pending ticks — the group counts its live timers and
+// compares against Loop.Pending, which also keeps multiple samplers from
+// mutually sustaining each other forever.
+//
+// Callbacks must only observe (read counters, record samples): they run
+// as ordinary loop events, so mutating simulation state from one would
+// perturb the run being measured.
+type SamplerGroup struct {
+	loop *sim.Loop
+	live int
+}
+
+// NewSamplerGroup creates a sampler group on the loop.
+func NewSamplerGroup(loop *sim.Loop) *SamplerGroup {
+	return &SamplerGroup{loop: loop}
+}
+
+// Every schedules fn to run each interval of virtual time, starting one
+// interval from now, until only sampler ticks remain in the loop.
+func (g *SamplerGroup) Every(interval sim.Time, fn func(now sim.Time)) {
+	if interval <= 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	var tick func()
+	tick = func() {
+		g.live--
+		fn(g.loop.Now())
+		if g.loop.Pending() > g.live {
+			g.live++
+			g.loop.After(interval, tick)
+		}
+	}
+	g.live++
+	g.loop.After(interval, tick)
+}

@@ -72,8 +72,9 @@ func (c *Client) AttachReplica(id uint32, p *msgnet.Peer) {
 // Invoke submits one operation to all replicas; done fires once F+1
 // matching replies arrive. (Production PBFT sends to the primary first
 // and broadcasts on timeout; broadcasting immediately is equivalent for
-// safety and simpler for a simulation client.)
-func (c *Client) Invoke(op []byte, done func(result []byte)) {
+// safety and simpler for a simulation client.) The returned string is
+// the request's key — the id the observability layer traces it under.
+func (c *Client) Invoke(op []byte, done func(result []byte)) string {
 	c.next++
 	ts := c.next
 	c.pending[ts] = &invocation{op: op, replies: make(map[uint32][]byte), done: done}
@@ -91,6 +92,7 @@ func (c *Client) Invoke(op []byte, done func(result []byte)) {
 			c.sendErrs++
 		}
 	}
+	return req.Key()
 }
 
 func (c *Client) handleReply(rep Reply) {

@@ -8,6 +8,7 @@ import (
 	"rubin/internal/fabric"
 	"rubin/internal/model"
 	"rubin/internal/msgnet"
+	"rubin/internal/obs"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
 )
@@ -57,6 +58,24 @@ type Cluster struct {
 	// OnRestart, if set, is invoked after Restart wires up a fresh
 	// replica — the place to re-attach OnExecute/OnViewChange hooks.
 	OnRestart func(i int, rep *Replica)
+
+	tracer *obs.Tracer
+}
+
+// SetTracer attaches an observability tracer to every current replica
+// and mesh, and to ones created later (AddClient meshes, Restart
+// replicas). Call before generating traffic; a nil tracer detaches.
+func (c *Cluster) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	for _, rep := range c.Replicas {
+		rep.SetTracer(t)
+	}
+	for _, mesh := range c.Meshes {
+		mesh.SetTracer(t)
+	}
+	for _, mesh := range c.clientMeshes {
+		mesh.SetTracer(t)
+	}
 }
 
 // NewCluster builds N replica nodes (full mesh), opens msgnet meshes of
@@ -167,6 +186,7 @@ func (c *Cluster) AddClient() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	mesh.SetTracer(c.tracer)
 	cl := NewClient(id, c.Config.F)
 	var dialErr error
 	dials := 0
@@ -247,6 +267,7 @@ func (c *Cluster) Restart(i int) error {
 	}
 	c.Replicas[i] = rep
 	c.Apps[i] = app
+	rep.SetTracer(c.tracer)
 	for j, p := range c.peerLinks[i] {
 		if j == i {
 			continue

@@ -8,6 +8,7 @@ import (
 	"rubin/internal/fabric"
 	"rubin/internal/metrics"
 	"rubin/internal/msgnet"
+	"rubin/internal/obs"
 	"rubin/internal/sim"
 )
 
@@ -177,6 +178,7 @@ type Replica struct {
 	onExecute         func(seq uint64, batch []Request)
 	onViewChange      func(newView uint64)
 	onCheckpointAdopt func(seq uint64)
+	tracer            *obs.Tracer
 
 	// sendFaults counts every surfaced delivery failure on this
 	// replica's outbound traffic — nothing is silently discarded.
@@ -254,6 +256,12 @@ func (r *Replica) Stop() {
 
 // OnExecute installs a hook invoked after each executed batch.
 func (r *Replica) OnExecute(fn func(seq uint64, batch []Request)) { r.onExecute = fn }
+
+// SetTracer attaches an observability tracer recording the request
+// milestones this replica observes (leader receipt, proposal broadcast,
+// commit/execute). A nil tracer — the default — costs one pointer test
+// per milestone site.
+func (r *Replica) SetTracer(t *obs.Tracer) { r.tracer = t }
 
 // OnViewChange installs a hook invoked when a new view is installed.
 func (r *Replica) OnViewChange(fn func(uint64)) { r.onViewChange = fn }
@@ -529,6 +537,9 @@ func (r *Replica) handleRequest(req Request) {
 		// the leader already has it; backups only watch the timer.
 		return
 	}
+	if r.tracer != nil {
+		r.tracer.MarkLeaderRecv(key, r.node.Loop().Now())
+	}
 	r.pending = append(r.pending, req)
 	r.proposed[key] = true
 	if len(r.pending) >= r.cfg.BatchSize {
@@ -599,6 +610,12 @@ func (r *Replica) proposeBatch() {
 		// re-proposes them.
 		if r.stopped || r.viewChanging || r.view != pp.View {
 			return
+		}
+		if r.tracer != nil {
+			now := r.node.Loop().Now()
+			for _, req := range pp.Batch {
+				r.tracer.MarkPropose(req.Key(), now)
+			}
 		}
 		r.broadcast(pp)
 		r.tryPrepare(seq)
@@ -780,6 +797,9 @@ func (r *Replica) tryExecute() {
 		r.execBatches++
 		proto := r.node.Network().Params().Protocol
 		for _, req := range s.pp.Batch {
+			if r.tracer != nil {
+				r.tracer.MarkCommit(req.Key(), r.node.Loop().Now())
+			}
 			r.node.CPU.Delay(proto.ExecRequest)
 			result := r.app.Execute(req.Op)
 			rep := Reply{View: r.view, Timestamp: req.Timestamp, Client: req.Client, Replica: r.id, Result: result}

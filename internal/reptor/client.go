@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rubin/internal/msgnet"
+	"rubin/internal/obs"
 	"rubin/internal/pbft"
 )
 
@@ -19,7 +20,11 @@ type Client struct {
 	group *Group
 	id    uint32
 	sub   []*pbft.Client
+	mesh  *msgnet.Mesh
 }
+
+// setTracer propagates the group's tracer to this client's mesh.
+func (c *Client) setTracer(t *obs.Tracer) { c.mesh.SetTracer(t) }
 
 // subClientID derives the PBFT identity of client id's instance-k
 // sub-client. The stride bounds group size at 1024 clients per deployment
@@ -39,7 +44,8 @@ func (g *Group) AddClient() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{group: g, id: id}
+	mesh.SetTracer(g.tracer)
+	cl := &Client{group: g, id: id, mesh: mesh}
 	var dialErr error
 	dials, want := 0, 0
 	for k := 0; k < g.Config.Instances; k++ {
@@ -72,10 +78,11 @@ func (g *Group) AddClient() (*Client, error) {
 }
 
 // Invoke routes one operation to its instance; done fires on a BFT quorum
-// of matching replies.
-func (c *Client) Invoke(op []byte, done func([]byte)) {
+// of matching replies. The returned string is the request key the
+// observability layer traces the operation under.
+func (c *Client) Invoke(op []byte, done func([]byte)) string {
 	k := c.group.Config.Route(op)
-	c.sub[k].Invoke(op, done)
+	return c.sub[k].Invoke(op, done)
 }
 
 // InvokeRouted routes one operation by an explicit routing key instead
@@ -84,9 +91,9 @@ func (c *Client) Invoke(op []byte, done func([]byte)) {
 // every operation of a key is ordered by the same instance — routing by
 // the state-machine key (as the workload experiments do) guarantees
 // that even when unique values make each operation's bytes distinct.
-func (c *Client) InvokeRouted(route, op []byte, done func([]byte)) {
+func (c *Client) InvokeRouted(route, op []byte, done func([]byte)) string {
 	k := c.group.Config.Route(route)
-	c.sub[k].Invoke(op, done)
+	return c.sub[k].Invoke(op, done)
 }
 
 // Completed returns the number of finished invocations across instances.

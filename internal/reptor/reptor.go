@@ -19,6 +19,7 @@ import (
 	"rubin/internal/fabric"
 	"rubin/internal/model"
 	"rubin/internal/msgnet"
+	"rubin/internal/obs"
 	"rubin/internal/pbft"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
@@ -87,6 +88,40 @@ type Group struct {
 	Apps      []pbft.Application
 
 	clients []*Client
+	tracer  *obs.Tracer
+}
+
+// SetTracer attaches an observability tracer to every instance replica,
+// executor and mesh, including client meshes created later by AddClient.
+// Call before generating traffic; a nil tracer detaches.
+func (g *Group) SetTracer(t *obs.Tracer) {
+	g.tracer = t
+	for _, reps := range g.Instances {
+		for _, rep := range reps {
+			rep.SetTracer(t)
+		}
+	}
+	for _, mesh := range g.Meshes {
+		mesh.SetTracer(t)
+	}
+	for _, e := range g.Executors {
+		e.tracer = t
+	}
+	for _, cl := range g.clients {
+		cl.setTracer(t)
+	}
+}
+
+// PeakQueueBytes returns the deepest msgnet send queue observed on any
+// replica mesh — the group-level counterpart of pbft.Cluster.PeakQueueBytes.
+func (g *Group) PeakQueueBytes() int {
+	peak := 0
+	for _, mesh := range g.Meshes {
+		if d := mesh.PeakQueueBytes(); d > peak {
+			peak = d
+		}
+	}
+	return peak
 }
 
 // peerPortFor returns the replica-to-replica port of an instance.
@@ -259,6 +294,21 @@ type Executor struct {
 	// delivered through OnExecute and the merge must not wait for them.
 	subsumed      []uint64
 	subsumedSlots uint64
+
+	// peakBacklog is the largest Backlog observed — the merge-pressure
+	// high watermark E8/E9 report.
+	peakBacklog int
+	// Observability: with a tracer attached, deliverAt remembers when
+	// each buffered batch committed so the merge can report how long the
+	// barrier sat on it (RecordMergeWait + "merge-wait" spans).
+	tracer    *obs.Tracer
+	deliverAt map[slotKey]sim.Time
+}
+
+// slotKey identifies one instance-local sequence in the merge buffer.
+type slotKey struct {
+	instance int
+	seq      uint64
 }
 
 func newExecutor(g *Group, node int) *Executor {
@@ -301,6 +351,9 @@ func (e *Executor) Backlog() int {
 	return n
 }
 
+// PeakBacklog returns the largest backlog this executor ever buffered.
+func (e *Executor) PeakBacklog() int { return e.peakBacklog }
+
 func (e *Executor) deliver(instance int, seq uint64, batch []pbft.Request) {
 	e.delivers++
 	// A delivery behind the merge cursor can only follow a subsumed-round
@@ -315,6 +368,15 @@ func (e *Executor) deliver(instance int, seq uint64, batch []pbft.Request) {
 		e.hbDelay[instance] = e.group.Config.HeartbeatDelay
 	}
 	e.ready[instance][seq] = batch
+	if b := e.Backlog(); b > e.peakBacklog {
+		e.peakBacklog = b
+	}
+	if e.tracer != nil {
+		if e.deliverAt == nil {
+			e.deliverAt = make(map[slotKey]sim.Time)
+		}
+		e.deliverAt[slotKey{instance, seq}] = e.group.Loop.Now()
+	}
 	e.drain()
 }
 
@@ -332,6 +394,7 @@ func (e *Executor) subsume(instance int, seq uint64) {
 	for s := range e.ready[instance] {
 		if s <= seq {
 			delete(e.ready[instance], s)
+			delete(e.deliverAt, slotKey{instance, s})
 		}
 	}
 	e.drain()
@@ -354,6 +417,17 @@ func (e *Executor) drain() {
 			return
 		}
 		delete(e.ready[e.cursor], e.round)
+		if e.tracer != nil {
+			if at, ok := e.deliverAt[slotKey{e.cursor, e.round}]; ok {
+				delete(e.deliverAt, slotKey{e.cursor, e.round})
+				now := e.group.Loop.Now()
+				e.tracer.RecordMergeWait(now - at)
+				if now > at {
+					e.tracer.Span("reptor", "merge-wait",
+						fmt.Sprintf("r%d/i%d", e.node, e.cursor), "", at, now)
+				}
+			}
+		}
 		for _, req := range batch {
 			e.order = append(e.order, req.Key())
 		}

@@ -23,6 +23,7 @@ import (
 
 	"rubin/internal/kvstore"
 	"rubin/internal/metrics"
+	"rubin/internal/obs"
 	"rubin/internal/sim"
 )
 
@@ -31,8 +32,10 @@ import (
 // the state-machine key it touches, or the scanned prefix — for systems
 // that shard the request space (Reptor's COP routes by it so a single
 // instance orders all operations of a key). done must fire exactly once
-// with the reply.
-type Invoker func(conn int, key string, op []byte, done func(result []byte))
+// with the reply. The return value is the submitted request's trace id
+// (pbft request key) for the observability layer — "" when the system
+// does not trace.
+type Invoker func(conn int, key string, op []byte, done func(result []byte)) string
 
 // Config parameterizes one workload run.
 type Config struct {
@@ -98,6 +101,7 @@ type Driver struct {
 	rng    *rand.Rand
 	hist   *History
 	rec    *metrics.Recorder
+	tracer *obs.Tracer
 
 	total     int
 	issued    int
@@ -224,15 +228,26 @@ func (d *Driver) issue(user int, arrive sim.Time) {
 		raw = kvstore.EncodeOp(kvstore.OpScan, key, strconv.Itoa(d.cfg.ScanLimit))
 	}
 	invokeAt := d.loop.Now()
-	d.invoke(user%d.cfg.Conns, key, raw, func(res []byte) {
-		d.complete(user, kind, key, value, arrive, invokeAt, measured, res)
+	var traceID string
+	traceID = d.invoke(user%d.cfg.Conns, key, raw, func(res []byte) {
+		d.complete(user, kind, key, value, arrive, invokeAt, measured, traceID, res)
 	})
+	// Safe after the invoke: replies cross the simulated network, so done
+	// cannot have fired synchronously at this same event.
+	if d.tracer != nil && traceID != "" {
+		d.tracer.MarkArrive(traceID, arrive)
+		d.tracer.MarkInvoke(traceID, invokeAt)
+	}
 }
 
 // complete records one finished operation and schedules the user's next
 // work according to the arrival model.
-func (d *Driver) complete(user int, kind Kind, key, value string, arrive, invokeAt sim.Time, measured bool, res []byte) {
+func (d *Driver) complete(user int, kind Kind, key, value string, arrive, invokeAt sim.Time, measured bool, traceID string, res []byte) {
 	ret := d.loop.Now()
+	if d.tracer != nil && traceID != "" {
+		d.tracer.MarkReturn(traceID, ret)
+		d.tracer.Finish(traceID, measured)
+	}
 	d.hist.Add(Op{
 		User: user, Kind: kind, Key: key, Value: value,
 		Result: normalize(kind, res),
@@ -297,6 +312,12 @@ func normalize(kind Kind, res []byte) string {
 	}
 	return ""
 }
+
+// SetTracer attaches an observability tracer: each operation's arrival,
+// invocation and return are marked under the trace id its Invoker
+// returns, and Finish folds them into the latency breakdown. Call before
+// Run; a nil tracer (the default) disables marking.
+func (d *Driver) SetTracer(t *obs.Tracer) { d.tracer = t }
 
 // History returns the complete operation record of the run.
 func (d *Driver) History() *History { return d.hist }

@@ -220,12 +220,13 @@ type fakeService struct {
 	calls int
 }
 
-func (s *fakeService) invoke(conn int, key string, op []byte, done func([]byte)) {
+func (s *fakeService) invoke(conn int, key string, op []byte, done func([]byte)) string {
 	s.calls++
 	jitter := sim.Time(s.calls%7) * sim.Microsecond
 	s.loop.After(s.delay+jitter, func() {
 		done(s.store.Execute(op))
 	})
+	return ""
 }
 
 func testConfig(arrival Arrival) Config {
@@ -353,7 +354,7 @@ func TestDriverScanRepliesMatchPrefix(t *testing.T) {
 	loop := sim.NewLoop(1)
 	store := kvstore.New()
 	scans := 0
-	d, err := New(loop, cfg, func(_ int, key string, op []byte, done func([]byte)) {
+	d, err := New(loop, cfg, func(_ int, key string, op []byte, done func([]byte)) string {
 		loop.After(sim.Microsecond, func() {
 			res := store.Execute(op)
 			if code, prefix, _, _ := kvstore.DecodeOp(op); code == kvstore.OpScan {
@@ -370,6 +371,7 @@ func TestDriverScanRepliesMatchPrefix(t *testing.T) {
 			}
 			done(res)
 		})
+		return ""
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -396,7 +398,7 @@ func TestConfigValidateRejectsBadShapes(t *testing.T) {
 	} {
 		cfg := good
 		mutate(&cfg)
-		if _, err := New(sim.NewLoop(1), cfg, func(int, string, []byte, func([]byte)) {}); err == nil {
+		if _, err := New(sim.NewLoop(1), cfg, func(int, string, []byte, func([]byte)) string { return "" }); err == nil {
 			t.Errorf("%s: config accepted", name)
 		}
 	}
@@ -409,8 +411,9 @@ func TestDriverReportsIncompleteRuns(t *testing.T) {
 	cfg := testConfig(Closed(1, 0))
 	cfg.Users, cfg.Ops, cfg.Warmup = 2, 4, 0
 	loop := sim.NewLoop(1)
-	d, err := New(loop, cfg, func(_ int, _ string, _ []byte, done func([]byte)) {
+	d, err := New(loop, cfg, func(_ int, _ string, _ []byte, done func([]byte)) string {
 		// Drop every request: done never fires.
+		return ""
 	})
 	if err != nil {
 		t.Fatal(err)
