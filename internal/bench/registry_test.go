@@ -8,10 +8,10 @@ import (
 	"rubin/internal/metrics"
 )
 
-// TestRegistryComplete asserts the suite registers E1–E9 with full
+// TestRegistryComplete asserts the suite registers E1–E10 with full
 // metadata, in numeric order.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -1,0 +1,426 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/metrics"
+	"rubin/internal/model"
+	"rubin/internal/msgnet"
+	"rubin/internal/obs"
+	"rubin/internal/shard"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+	"rubin/internal/workload"
+)
+
+// ShardTrafficConfig parameterizes one point of experiment E10: a mixed
+// workload (single-key operations, scans and multi-key transactions)
+// driven through routers against a sharded deployment of S independent
+// consensus groups. CrossPct controls what share of the transactions is
+// forced to span two shards — those commit through 2PC over consensus —
+// while the rest stay on one shard's one-phase fast path. Every
+// operation is recorded and the history must pass the atomicity plus
+// per-key linearizability check, so each E10 point doubles as a
+// correctness proof of the sharded commit path.
+type ShardTrafficConfig struct {
+	Kind      transport.Kind
+	Shards    int
+	N, F      int
+	Users     int // logical users
+	Conns     int // routers the users share
+	Keys      int // keyspace size
+	ValueSize int // written-value padding, bytes
+	Ops       int // measured operations
+	Warmup    int // unmeasured leading operations
+	Mix       workload.Mix
+	CrossPct  int // share of transactions forced cross-shard, percent
+	Zipf100   int // Zipf theta ×100 over the keyspace; 0 = uniform
+	Arrival   workload.Arrival
+	Seed      int64
+	Trace     *obs.Tracer
+}
+
+// ShardTrafficResult is one measurement point of E10.
+type ShardTrafficResult struct {
+	P50, P90, P99, P999 sim.Time
+	Mean                sim.Time
+	Goodput             float64 // measured completions per second
+	CommittedGoodput    float64 // goodput excluding aborted transactions
+	Completed           int
+	Aborted             int // transactions lost to no-wait conflicts
+	HistoryOps          int
+	Breakdown           obs.Summary
+	PeakQueueBytes      int
+	CrossShardTxns      uint64 // transactions committed through 2PC
+	LockRetries         uint64 // LOCKED resubmissions by the routers
+}
+
+// shardPools groups the workload's key names by owning shard. Every
+// shard must own at least two keys (a transaction needs two distinct
+// same-shard keys); hash partitioning makes that overwhelmingly likely
+// for keys >> shards, and the caller errors out otherwise.
+func shardPools(keys, shards int) ([][]string, error) {
+	pools := make([][]string, shards)
+	for i := 0; i < keys; i++ {
+		k := workload.KeyName(i)
+		s := kvstore.PartitionKey(k, shards)
+		pools[s] = append(pools[s], k)
+	}
+	for s, pool := range pools {
+		if len(pool) < 2 {
+			return nil, fmt.Errorf("bench: shard %d owns %d of %d keys; raise keys or lower shards",
+				s, len(pool), keys)
+		}
+	}
+	return pools, nil
+}
+
+// crossPick builds the transaction key picker: with probability
+// CrossPct% (and more than one shard) the two keys are drawn from two
+// different shards' pools, otherwise both from one shard's. The picker
+// draws only from the driver's private random source, preserving run
+// determinism.
+func crossPick(pools [][]string, crossPct int) func(r *rand.Rand) (string, string) {
+	return func(r *rand.Rand) (string, string) {
+		if len(pools) > 1 && r.Intn(100) < crossPct {
+			s1 := r.Intn(len(pools))
+			s2 := r.Intn(len(pools) - 1)
+			if s2 >= s1 {
+				s2++
+			}
+			return pools[s1][r.Intn(len(pools[s1]))], pools[s2][r.Intn(len(pools[s2]))]
+		}
+		s := r.Intn(len(pools))
+		pool := pools[s]
+		a := r.Intn(len(pool))
+		b := r.Intn(len(pool) - 1)
+		if b >= a {
+			b++
+		}
+		return pool[a], pool[b]
+	}
+}
+
+// RunShardTraffic drives one workload configuration against a sharded
+// deployment to completion, verifies the run was healthy (no send
+// faults, no dangling invocations, no 2PC protocol errors) and that the
+// history passes the atomicity plus per-key linearizability check, and
+// returns the latency and committed-throughput measurements.
+func RunShardTraffic(cfg ShardTrafficConfig, params model.Params) (ShardTrafficResult, error) {
+	if cfg.CrossPct < 0 || cfg.CrossPct > 100 {
+		return ShardTrafficResult{}, fmt.Errorf("bench: cross-shard share %d%% out of range", cfg.CrossPct)
+	}
+	pools, err := shardPools(cfg.Keys, cfg.Shards)
+	if err != nil {
+		return ShardTrafficResult{}, err
+	}
+	var chooser workload.KeyChooser = workload.NewUniform(cfg.Keys)
+	if cfg.Zipf100 > 0 {
+		chooser = workload.NewZipf(cfg.Keys, float64(cfg.Zipf100)/100)
+	}
+	wcfg := workload.Config{
+		Users: cfg.Users, Conns: cfg.Conns,
+		Ops: cfg.Ops, Warmup: cfg.Warmup,
+		Keys: chooser, Mix: cfg.Mix, Arrival: cfg.Arrival,
+		ValueSize: cfg.ValueSize, Seed: cfg.Seed,
+		TxnPick: crossPick(pools, cfg.CrossPct),
+	}
+
+	tr := benchTracer(cfg.Trace, fmt.Sprintf("E10 S=%d cross=%d%% %s N=%d users=%d conns=%d seed=%d",
+		cfg.Shards, cfg.CrossPct, cfg.Kind, cfg.N, cfg.Users, cfg.Conns, cfg.Seed))
+
+	scfg := shard.DefaultConfig()
+	scfg.Shards = cfg.Shards
+	scfg.PBFT.N, scfg.PBFT.F = cfg.N, cfg.F
+	dep, err := shard.NewKV(cfg.Kind, scfg, params, cfg.Seed)
+	if err != nil {
+		return ShardTrafficResult{}, err
+	}
+	if err := dep.Start(); err != nil {
+		return ShardTrafficResult{}, err
+	}
+	dep.SetTracer(tr)
+	routers := make([]*shard.Router, cfg.Conns)
+	for i := range routers {
+		if routers[i], err = dep.AddRouter(); err != nil {
+			return ShardTrafficResult{}, err
+		}
+	}
+	var meshes []*msgnet.Mesh
+	for _, cl := range dep.Clusters {
+		meshes = append(meshes, cl.Meshes...)
+	}
+	startSamplers(tr, dep.Loop, meshes, nil)
+
+	d, err := workload.New(dep.Loop, wcfg, func(conn int, op []byte, done func([]byte)) string {
+		return routers[conn].InvokeOp(op, done)
+	})
+	if err != nil {
+		return ShardTrafficResult{}, err
+	}
+	d.SetTracer(tr)
+	if err := d.Run(); err != nil {
+		return ShardTrafficResult{}, err
+	}
+	if n := dep.SendFaults(); n != 0 {
+		return ShardTrafficResult{}, fmt.Errorf("bench: %d send faults on a healthy network", n)
+	}
+	for i, r := range routers {
+		if err := r.Errs(); err != nil {
+			return ShardTrafficResult{}, fmt.Errorf("bench: router %d: %w", i, err)
+		}
+		if n := r.Outstanding(); n != 0 {
+			return ShardTrafficResult{}, fmt.Errorf("bench: router %d left %d operations outstanding", i, n)
+		}
+	}
+	if err := d.History().Check(); err != nil {
+		return ShardTrafficResult{}, err
+	}
+	rec := d.Latencies()
+	r := ShardTrafficResult{
+		P50: rec.Percentile(50), P90: rec.Percentile(90),
+		P99: rec.Percentile(99), P999: rec.Percentile(99.9),
+		Mean:             rec.Mean(),
+		Goodput:          d.Goodput(),
+		CommittedGoodput: d.CommittedGoodput(),
+		Completed:        d.Completed(),
+		Aborted:          d.Aborted(),
+		HistoryOps:       d.History().Len(),
+		Breakdown:        tr.Summary(),
+		PeakQueueBytes:   dep.PeakQueueBytes(),
+	}
+	for _, rt := range routers {
+		r.CrossShardTxns += rt.CrossShardTxns()
+		r.LockRetries += rt.Retries()
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry entry: E10 (shard scale-out under an atomicity oracle).
+// ---------------------------------------------------------------------------
+
+func init() {
+	Register(Experiment{
+		Name:   "E10",
+		Title:  "shard scale-out: committed throughput vs shard count and cross-shard transaction share",
+		Figure: "beyond the paper: keyspace partitioning over independent consensus groups with 2PC-over-consensus",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE10(rc)
+			return cfg, err
+		},
+		Run: runE10,
+	})
+}
+
+// e10Knobs are the resolved parameters of one E10 run.
+type e10Knobs struct {
+	shards     []int // shard counts of the scaling sweep
+	crossPcts  []int // cross-shard transaction shares, percent
+	n          int
+	users      int
+	conns      int
+	keys       int
+	ops        int
+	warmup     int
+	valueBytes int
+	window     int // closed-loop outstanding per user
+	readPct    int
+	scanPct    int
+	deletePct  int
+	txnPct     int
+}
+
+func resolveE10(rc RunContext) (e10Knobs, map[string]string, error) {
+	// The full-mode load (users, conns) is sized to saturate a single
+	// group with headroom for eight: the scaling curve must measure the
+	// shards, not the client pool. 16 routers keep the front-end off the
+	// critical path up to S=8.
+	k := e10Knobs{
+		shards:    []int{1, 2, 4, 8},
+		crossPcts: []int{0, 1, 10},
+		n:         4, users: 512, conns: 16, keys: 256,
+		ops: 1500, warmup: 150, valueBytes: 128, window: 1,
+		readPct: 40, scanPct: 5, deletePct: 5, txnPct: 20,
+	}
+	if rc.Quick {
+		k.shards, k.crossPcts = []int{1, 2}, []int{0, 10}
+		k.users, k.conns, k.keys = 24, 2, 64
+		k.ops, k.warmup = 60, 10
+	}
+	var err error
+	if k.shards, err = rc.intsKnob("shards", k.shards); err != nil {
+		return k, nil, err
+	}
+	if k.crossPcts, err = rc.nonNegIntsKnob("cross_pcts", k.crossPcts); err != nil {
+		return k, nil, err
+	}
+	if k.n, err = rc.intKnob("n", k.n); err != nil {
+		return k, nil, err
+	}
+	if k.users, err = rc.intKnob("users", k.users); err != nil {
+		return k, nil, err
+	}
+	if k.conns, err = rc.intKnob("conns", k.conns); err != nil {
+		return k, nil, err
+	}
+	if k.keys, err = rc.intKnob("keys", k.keys); err != nil {
+		return k, nil, err
+	}
+	if k.ops, err = rc.intKnob("ops", k.ops); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.valueBytes, err = rc.intKnob("value_bytes", k.valueBytes); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	if k.readPct, err = rc.intKnob("read_pct", k.readPct); err != nil {
+		return k, nil, err
+	}
+	if k.scanPct, err = rc.intKnob("scan_pct", k.scanPct); err != nil {
+		return k, nil, err
+	}
+	if k.deletePct, err = rc.intKnob("delete_pct", k.deletePct); err != nil {
+		return k, nil, err
+	}
+	if k.txnPct, err = rc.intKnob("txn_pct", k.txnPct); err != nil {
+		return k, nil, err
+	}
+	if k.n < 4 {
+		return k, nil, fmt.Errorf("bench: E10 needs n >= 4 (3f+1), got %d", k.n)
+	}
+	if k.users < k.conns || k.conns < 1 {
+		return k, nil, fmt.Errorf("bench: E10 needs 1 <= conns <= users, got %d/%d", k.conns, k.users)
+	}
+	if k.window < 1 {
+		return k, nil, fmt.Errorf("bench: E10 needs window >= 1, got %d", k.window)
+	}
+	if k.readPct < 0 || k.scanPct < 0 || k.deletePct < 0 || k.txnPct < 1 {
+		return k, nil, fmt.Errorf("bench: E10 mix shares must be non-negative with txn_pct >= 1")
+	}
+	if k.readPct+k.scanPct+k.deletePct+k.txnPct > 100 {
+		return k, nil, fmt.Errorf("bench: E10 mix read=%d + scan=%d + delete=%d + txn=%d exceeds 100",
+			k.readPct, k.scanPct, k.deletePct, k.txnPct)
+	}
+	maxShards := 0
+	for _, s := range k.shards {
+		if s > maxShards {
+			maxShards = s
+		}
+	}
+	for _, c := range k.crossPcts {
+		if c > 100 {
+			return k, nil, fmt.Errorf("bench: E10 cross-shard share %d%% out of range", c)
+		}
+	}
+	// Every shard of the largest deployment must own at least two keys
+	// (see shardPools); fail at knob time, not mid-sweep.
+	if _, err := shardPools(k.keys, maxShards); err != nil {
+		return k, nil, err
+	}
+	cfg := map[string]string{
+		"shards":      formatInts(k.shards),
+		"cross_pcts":  formatInts(k.crossPcts),
+		"n":           strconv.Itoa(k.n),
+		"users":       strconv.Itoa(k.users),
+		"conns":       strconv.Itoa(k.conns),
+		"keys":        strconv.Itoa(k.keys),
+		"ops":         strconv.Itoa(k.ops),
+		"warmup":      strconv.Itoa(k.warmup),
+		"value_bytes": strconv.Itoa(k.valueBytes),
+		"window":      strconv.Itoa(k.window),
+		"read_pct":    strconv.Itoa(k.readPct),
+		"scan_pct":    strconv.Itoa(k.scanPct),
+		"delete_pct":  strconv.Itoa(k.deletePct),
+		"txn_pct":     strconv.Itoa(k.txnPct),
+	}
+	return k, cfg, nil
+}
+
+// e10Series bundles the series one E10 sweep combo reports: the
+// percentile/goodput bundle, committed goodput (the headline scaling
+// curve), the abort/2PC/retry counters, the mean latency with its phase
+// breakdown, the 2PC phase waits and the send-queue high watermark.
+type e10Series struct {
+	ps       metrics.PercentileSeries
+	mean     *metrics.ResultSeries
+	bd       breakdownSeries
+	commit   *metrics.ResultSeries
+	aborted  *metrics.ResultSeries
+	cross    *metrics.ResultSeries
+	retries  *metrics.ResultSeries
+	prepWait *metrics.ResultSeries
+	commWait *metrics.ResultSeries
+	peakQ    *metrics.ResultSeries
+}
+
+func addE10Series(res *metrics.Result, name, transport, xLabel string) e10Series {
+	return e10Series{
+		ps:       res.AddPercentileSeries(name, transport, xLabel),
+		mean:     res.AddSeries(name, metrics.MetricLatencyMean, "us", transport, xLabel),
+		bd:       addBreakdownSeries(res, name, transport, xLabel),
+		commit:   res.AddSeries(name, metrics.MetricCommittedGoodput, "op/s", transport, xLabel),
+		aborted:  res.AddSeries(name, metrics.MetricAbortedTxns, "count", transport, xLabel),
+		cross:    res.AddSeries(name, metrics.MetricCrossShardTxns, "count", transport, xLabel),
+		retries:  res.AddSeries(name, metrics.MetricLockRetries, "count", transport, xLabel),
+		prepWait: res.AddSeries(name, metrics.MetricPrepareWait, "us", transport, xLabel),
+		commWait: res.AddSeries(name, metrics.MetricCommitWait, "us", transport, xLabel),
+		peakQ:    res.AddSeries(name, metrics.MetricPeakQueueBytes, "bytes", transport, xLabel),
+	}
+}
+
+func (s e10Series) observe(x float64, r ShardTrafficResult) {
+	s.ps.Observe(x, r.P50, r.P90, r.P99, r.P999, r.Goodput)
+	s.mean.Add(x, r.Mean.Micros())
+	s.bd.observe(x, r.Breakdown)
+	s.commit.Add(x, r.CommittedGoodput)
+	s.aborted.Add(x, float64(r.Aborted))
+	s.cross.Add(x, float64(r.CrossShardTxns))
+	s.retries.Add(x, float64(r.LockRetries))
+	s.prepWait.Add(x, r.Breakdown.PrepareWait.Micros())
+	s.commWait.Add(x, r.Breakdown.CommitWait.Micros())
+	s.peakQ.Add(x, float64(r.PeakQueueBytes))
+}
+
+func runE10(rc RunContext, res *metrics.Result) error {
+	k, _, err := resolveE10(rc)
+	if err != nil {
+		return err
+	}
+	mix := workload.Mix{
+		ReadPct: k.readPct, ScanPct: k.scanPct,
+		DeletePct: k.deletePct, TxnPct: k.txnPct,
+	}
+	mix.WritePct = 100 - k.readPct - k.scanPct - k.deletePct - k.txnPct
+	for _, kind := range e8Transports {
+		for _, cross := range k.crossPcts {
+			name := fmt.Sprintf("scale cross=%d%% %s", cross, e8Label(kind))
+			ss := addE10Series(res, name, string(kind), "shards")
+			for _, shards := range k.shards {
+				cfg := ShardTrafficConfig{
+					Kind: kind, Shards: shards,
+					N: k.n, F: (k.n - 1) / 3,
+					Users: k.users, Conns: k.conns, Keys: k.keys,
+					ValueSize: k.valueBytes, Ops: k.ops, Warmup: k.warmup,
+					Mix: mix, CrossPct: cross,
+					Arrival: workload.Closed(k.window, 0),
+					Seed:    rc.Seed, Trace: rc.Trace,
+				}
+				r, err := RunShardTraffic(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("shards=%d cross=%d %s: %w", shards, cross, kind, err)
+				}
+				ss.observe(float64(shards), r)
+			}
+		}
+	}
+	return nil
+}

@@ -67,13 +67,6 @@ type TrafficResult struct {
 // invocations) and linearizable, and returns the latency percentiles
 // and goodput.
 func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
-	if cfg.Instances > 0 && cfg.Mix.ScanPct > 0 {
-		// A scan routes by its prefix while the keys it covers route by
-		// full key, so its observation would straddle instances — whose
-		// executions interleave differently per replica. The replies
-		// then diverge and the F+1 quorum may never form.
-		return TrafficResult{}, fmt.Errorf("bench: COP traffic cannot include scans (see e9Mix)")
-	}
 	var chooser workload.KeyChooser = workload.NewUniform(cfg.Keys)
 	if cfg.Zipf100 > 0 {
 		chooser = workload.NewZipf(cfg.Keys, float64(cfg.Zipf100)/100)
@@ -116,7 +109,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		}
 		loop = cluster.Loop
 		startSamplers(tr, loop, cluster.Meshes, nil)
-		invoke = func(conn int, _ string, op []byte, done func([]byte)) string {
+		invoke = func(conn int, op []byte, done func([]byte)) string {
 			return cls[conn].Invoke(op, done)
 		}
 		health = func(r *TrafficResult) {
@@ -155,9 +148,10 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		loop = group.Loop
 		startSamplers(tr, loop, group.Meshes, group.Executors)
 		// COP routes by the state-machine key, so one instance orders
-		// every operation of a key (see reptor.Client.InvokeRouted).
-		invoke = func(conn int, key string, op []byte, done func([]byte)) string {
-			return cls[conn].InvokeRouted([]byte(key), op, done)
+		// every operation of a key; scans fan out as partition-filtered
+		// sub-scans and merge locally (see reptor.Client.InvokeOp).
+		invoke = func(conn int, op []byte, done func([]byte)) string {
+			return cls[conn].InvokeOp(op, done)
 		}
 		health = func(r *TrafficResult) {
 			r.PeakQueueBytes = group.PeakQueueBytes()
@@ -202,7 +196,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 	if err := finish(); err != nil {
 		return TrafficResult{}, err
 	}
-	if err := d.History().CheckLinearizable(); err != nil {
+	if err := d.History().Check(); err != nil {
 		return TrafficResult{}, err
 	}
 	rec := d.Latencies()
@@ -373,16 +367,12 @@ type e9System struct {
 // e9MidRead is the fixed read share of the rate, burst and skew sweeps.
 const e9MidRead = 45
 
-// e9Mix builds the operation mix for one read share. COP executes its
-// instances independently against the shared node-local state machine,
-// so multi-key scans would observe cross-instance interleavings that
-// differ between replicas; the COP runs honestly trade the scan share
-// for writes instead of pretending the observation is meaningful.
-func e9Mix(readPct, scanPct, deletePct int, cop bool) workload.Mix {
+// e9Mix builds the operation mix for one read share. Scans run on COP
+// too: they fan out as partition-filtered sub-scans, one per instance,
+// whose partial results are deterministic because only instance k's
+// order ever mutates partition-k keys (see reptor.Client.InvokeOp).
+func e9Mix(readPct, scanPct, deletePct int) workload.Mix {
 	m := workload.Mix{ReadPct: readPct, ScanPct: scanPct, DeletePct: deletePct}
-	if cop {
-		m.ScanPct = 0
-	}
 	m.WritePct = 100 - m.ReadPct - m.ScanPct - m.DeletePct
 	return m
 }
@@ -473,7 +463,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 				ss := addE9Series(res, name, string(kind), "rate_ops_s", sys.instances > 0)
 				for _, rate := range k.rates {
 					cfg := base(kind, sys)
-					cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
+					cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct)
 					cfg.Zipf100 = 99
 					cfg.Arrival = sweep.arrival(rate)
 					r, err := RunTraffic(cfg, rc.Model)
@@ -492,7 +482,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 			ss := addE9Series(res, name, string(kind), "zipf_theta_x100", sys.instances > 0)
 			for _, skew := range k.skews {
 				cfg := base(kind, sys)
-				cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct, sys.instances > 0)
+				cfg.Mix = e9Mix(e9MidRead, k.scanPct, k.deletePct)
 				cfg.Zipf100 = skew
 				cfg.Arrival = workload.Closed(k.window, 0)
 				r, err := RunTraffic(cfg, rc.Model)
@@ -510,7 +500,7 @@ func runE9(rc RunContext, res *metrics.Result) error {
 			ss := addE9Series(res, name, string(kind), "read_pct", sys.instances > 0)
 			for _, readPct := range k.readPcts {
 				cfg := base(kind, sys)
-				cfg.Mix = e9Mix(readPct, k.scanPct, k.deletePct, sys.instances > 0)
+				cfg.Mix = e9Mix(readPct, k.scanPct, k.deletePct)
 				cfg.Zipf100 = 99
 				cfg.Arrival = workload.Closed(k.window, 0)
 				r, err := RunTraffic(cfg, rc.Model)

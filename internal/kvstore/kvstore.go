@@ -33,6 +33,12 @@ const (
 type Store struct {
 	data map[string]string
 
+	// 2PC participant state (see txn.go): staged transactions and the
+	// write locks they hold. Both are part of the marshaled state, so
+	// checkpoints and state transfer carry in-doubt transactions.
+	prepared map[string]*preparedTxn
+	locks    map[string]string
+
 	applied uint64
 
 	// marshaled caches the MarshalState encoding between mutations:
@@ -45,7 +51,13 @@ type Store struct {
 }
 
 // New returns an empty store.
-func New() *Store { return &Store{data: make(map[string]string)} }
+func New() *Store {
+	return &Store{
+		data:     make(map[string]string),
+		prepared: make(map[string]*preparedTxn),
+		locks:    make(map[string]string),
+	}
+}
 
 // Len returns the number of keys.
 func (s *Store) Len() int { return len(s.data) }
@@ -99,6 +111,9 @@ func (s *Store) Execute(op []byte) []byte {
 	}
 	switch code {
 	case OpPut:
+		if _, locked := s.locks[key]; locked {
+			return []byte(Locked)
+		}
 		s.data[key] = value
 		return []byte("OK")
 	case OpGet:
@@ -108,11 +123,24 @@ func (s *Store) Execute(op []byte) []byte {
 		}
 		return []byte(v)
 	case OpDelete:
+		if _, locked := s.locks[key]; locked {
+			return []byte(Locked)
+		}
 		if _, ok := s.data[key]; !ok {
 			return []byte("NOTFOUND")
 		}
 		delete(s.data, key)
 		return []byte("OK")
+	case OpTxn:
+		return s.executeTxn(key, value)
+	case OpPrepare:
+		return s.executePrepare(key, value)
+	case OpCommit:
+		return s.executeCommit(key)
+	case OpAbort:
+		return s.executeAbort(key)
+	case OpScanPart:
+		return s.executeScanPart(key, value)
 	case OpScan:
 		limit := 0
 		if value != "" {
@@ -154,15 +182,16 @@ func (s *Store) Scan(prefix string, limit int) string {
 	return b.String()
 }
 
-// encodeState serializes the key/value contents in sorted order, the
-// canonical form shared by Snapshot and MarshalState.
+// encodeState serializes the key/value contents in sorted order — a
+// pair count followed by the pairs — the canonical form shared by
+// Snapshot and MarshalState.
 func (s *Store) encodeState() []byte {
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var buf []byte
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
 	for _, k := range keys {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
 		buf = append(buf, k...)
@@ -173,14 +202,41 @@ func (s *Store) encodeState() []byte {
 	return buf
 }
 
+// encodePrepared serializes the staged-transaction section in sorted
+// transaction-id order: the count, then per transaction the id and its
+// sub-operations in sub order (code byte, key, value). Locks are not
+// serialized — they are exactly the staged key sets (reads lock too)
+// and are rebuilt on unmarshal.
+func (s *Store) encodePrepared() []byte {
+	ids := s.Prepared()
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(id)))
+		buf = append(buf, id...)
+		subs := s.prepared[id].subs
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(subs)))
+		for _, sub := range subs {
+			buf = append(buf, byte(sub.Code))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub.Key)))
+			buf = append(buf, sub.Key...)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(sub.Value)))
+			buf = append(buf, sub.Value...)
+		}
+	}
+	return buf
+}
+
 // MarshalState serializes the full store for PBFT state transfer
-// (pbft.StateTransferable): the applied-operation counter followed by the
-// canonical sorted key/value encoding. The result is cached until the
+// (pbft.StateTransferable): the applied-operation counter, the canonical
+// sorted key/value encoding, and the staged 2PC transactions — a replica
+// recovering mid-transaction must learn the in-doubt set, or a later
+// COMMIT would find nothing to apply. The result is cached until the
 // next mutation and must be treated as read-only.
 func (s *Store) MarshalState() []byte {
 	if s.marshaled == nil {
 		buf := binary.BigEndian.AppendUint64(nil, s.applied)
-		s.marshaled = append(buf, s.encodeState()...)
+		buf = append(buf, s.encodeState()...)
+		s.marshaled = append(buf, s.encodePrepared()...)
 	}
 	return s.marshaled
 }
@@ -195,39 +251,89 @@ func (s *Store) Snapshot() auth.Digest {
 	return auth.Hash(s.MarshalState())
 }
 
-// UnmarshalState replaces the store's contents with a marshaled state.
+// UnmarshalState replaces the store's contents — key/value data and
+// staged 2PC transactions — with a marshaled state.
 func (s *Store) UnmarshalState(state []byte) error {
 	if len(state) < 8 {
 		return fmt.Errorf("kvstore: state too short (%d bytes)", len(state))
 	}
 	applied := binary.BigEndian.Uint64(state)
 	rest := state[8:]
+
+	npairs, rest, err := takeCount(rest, "pair count")
+	if err != nil {
+		return err
+	}
 	data := make(map[string]string)
-	for len(rest) > 0 {
-		if len(rest) < 4 {
-			return fmt.Errorf("kvstore: truncated state key length")
+	for i := uint32(0); i < npairs; i++ {
+		var k, v string
+		if k, rest, err = takeString(rest); err != nil {
+			return fmt.Errorf("kvstore: state key: %w", err)
 		}
-		// Compare lengths in uint64 so hostile 32-bit length fields
-		// cannot overflow int arithmetic on 32-bit platforms.
-		kl64 := uint64(binary.BigEndian.Uint32(rest))
-		rest = rest[4:]
-		if kl64+4 > uint64(len(rest)) {
-			return fmt.Errorf("kvstore: truncated state key")
+		if v, rest, err = takeString(rest); err != nil {
+			return fmt.Errorf("kvstore: state value: %w", err)
 		}
-		kl := int(kl64)
-		k := string(rest[:kl])
-		rest = rest[kl:]
-		vl64 := uint64(binary.BigEndian.Uint32(rest))
-		rest = rest[4:]
-		if vl64 > uint64(len(rest)) {
-			return fmt.Errorf("kvstore: truncated state value")
+		data[k] = v
+	}
+
+	ntxns, rest, err := takeCount(rest, "txn count")
+	if err != nil {
+		return err
+	}
+	prepared := make(map[string]*preparedTxn)
+	locks := make(map[string]string)
+	for i := uint32(0); i < ntxns; i++ {
+		var id string
+		if id, rest, err = takeString(rest); err != nil {
+			return fmt.Errorf("kvstore: staged txn id: %w", err)
 		}
-		vl := int(vl64)
-		data[k] = string(rest[:vl])
-		rest = rest[vl:]
+		if _, dup := prepared[id]; dup {
+			return fmt.Errorf("kvstore: duplicate staged txn %q", id)
+		}
+		var nsubs uint32
+		if nsubs, rest, err = takeCount(rest, "staged sub count"); err != nil {
+			return err
+		}
+		staged := &preparedTxn{}
+		for j := uint32(0); j < nsubs; j++ {
+			if len(rest) < 1 {
+				return fmt.Errorf("kvstore: truncated staged sub code")
+			}
+			code := OpCode(rest[0])
+			rest = rest[1:]
+			if code != OpGet && code != OpPut {
+				return fmt.Errorf("kvstore: staged sub op %d (only get/put allowed)", code)
+			}
+			var k, v string
+			if k, rest, err = takeString(rest); err != nil {
+				return fmt.Errorf("kvstore: staged sub key: %w", err)
+			}
+			if v, rest, err = takeString(rest); err != nil {
+				return fmt.Errorf("kvstore: staged sub value: %w", err)
+			}
+			if holder, locked := locks[k]; locked && holder != id {
+				return fmt.Errorf("kvstore: staged txns %q and %q both lock %q", holder, id, k)
+			}
+			staged.subs = append(staged.subs, TxnSub{Code: code, Key: k, Value: v})
+			locks[k] = id
+		}
+		prepared[id] = staged
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("kvstore: %d trailing state bytes", len(rest))
 	}
 	s.data = data
+	s.prepared = prepared
+	s.locks = locks
 	s.applied = applied
 	s.marshaled = nil
 	return nil
+}
+
+// takeCount pops one uint32 count off a buffer.
+func takeCount(raw []byte, what string) (uint32, []byte, error) {
+	if len(raw) < 4 {
+		return 0, nil, fmt.Errorf("kvstore: truncated %s", what)
+	}
+	return binary.BigEndian.Uint32(raw), raw[4:], nil
 }

@@ -1,0 +1,474 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Transaction and partition operations. The shard layer partitions the
+// keyspace across independent consensus groups; multi-key operations
+// commit through these state-machine ops so atomicity is decided inside
+// the replicated logs rather than by a trusted coordinator:
+//
+//   - OpTxn executes a multi-key read/write transaction atomically in one
+//     ordered operation — the one-phase fast path when every key lives in
+//     one group.
+//   - OpPrepare stages a transaction's writes and write-locks its keys
+//     (votes PREPARED), or votes ABORTED on a lock conflict (no-wait, so
+//     2PC cannot deadlock). Reads execute at prepare time, under the
+//     locks.
+//   - OpCommit applies the staged writes and releases the locks.
+//   - OpAbort discards the staged writes and releases the locks.
+//   - OpScanPart is a partition-filtered scan: it returns only the
+//     matching keys that PartitionKey assigns to one partition, so a
+//     router can scatter a scan across groups (or COP instances) and
+//     merge per-partition results that are each deterministic.
+//
+// Single-key writes and deletes that hit a write-locked key reply
+// "LOCKED" — a retryable condition the router backs off on — so a
+// prepared transaction's staged state can never be torn by interleaved
+// single-key traffic.
+const (
+	OpTxn OpCode = iota + 16
+	OpPrepare
+	OpCommit
+	OpAbort
+	OpScanPart
+)
+
+// Locked is the reply to a single-key write/delete (or one-phase OpTxn)
+// that conflicts with a prepared transaction's write locks. The caller
+// retries after a backoff; the condition clears when the holding
+// transaction commits or aborts.
+const Locked = "LOCKED"
+
+// Transaction reply statuses (see EncodeTxnResult).
+const (
+	TxnCommitted = "COMMITTED"
+	TxnPrepared  = "PREPARED"
+	TxnAborted   = "ABORTED"
+)
+
+// TxnSub is one sub-operation of a multi-key transaction: an OpGet or an
+// OpPut on a single key.
+type TxnSub struct {
+	Code  OpCode
+	Key   string
+	Value string
+}
+
+// PartitionKey deterministically assigns a key to one of parts hash
+// ranges: the 32-bit FNV-1a hash space is split into parts equal ranges
+// and the key belongs to the range its hash falls in. This is THE
+// partitioning function of the repository — the shard router, the COP
+// key-routing client and the partition-filtered scan all use it, so "who
+// owns this key" has exactly one answer everywhere.
+//
+// Range partitioning keys off the hash's upper bits, and FNV-1a's upper
+// bits correlate badly across near-identical inputs (workload key names
+// differ only in trailing digits — raw FNV left whole shards empty). A
+// murmur3-style finalizer avalanches the bits before the range split.
+func PartitionKey(key string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	f := fnv.New32a()
+	_, _ = f.Write([]byte(key))
+	h := f.Sum32()
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return int(uint64(h) * uint64(parts) >> 32)
+}
+
+// OpKeys returns the state-machine keys an encoded operation touches —
+// the single key of a put/get/delete, the prefix of a scan (its routing
+// key), or the sub-operation keys of a transaction (deduplicated, in
+// first-appearance order). It errors on operations that do not name
+// their keys (OpCommit/OpAbort act on previously staged state).
+func OpKeys(op []byte) ([]string, error) {
+	code, key, value, err := DecodeOp(op)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case OpPut, OpGet, OpDelete, OpScan, OpScanPart:
+		return []string{key}, nil
+	case OpTxn, OpPrepare:
+		subs, err := DecodeTxnSubs([]byte(value))
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, len(subs))
+		var keys []string
+		for _, sub := range subs {
+			if !seen[sub.Key] {
+				seen[sub.Key] = true
+				keys = append(keys, sub.Key)
+			}
+		}
+		return keys, nil
+	}
+	return nil, fmt.Errorf("kvstore: op %d does not name its keys", code)
+}
+
+// EncodeTxn encodes a one-phase multi-key transaction (OpTxn). The key
+// field carries the transaction id (used only for reporting; the
+// one-phase path needs no staging).
+func EncodeTxn(id string, subs []TxnSub) []byte {
+	return EncodeOp(OpTxn, id, string(encodeTxnSubs(subs)))
+}
+
+// EncodePrepare encodes the PREPARE of transaction id carrying the
+// sub-operations one participant group is responsible for.
+func EncodePrepare(id string, subs []TxnSub) []byte {
+	return EncodeOp(OpPrepare, id, string(encodeTxnSubs(subs)))
+}
+
+// EncodeCommit encodes the COMMIT decision for transaction id.
+func EncodeCommit(id string) []byte { return EncodeOp(OpCommit, id, "") }
+
+// EncodeAbort encodes the ABORT decision for transaction id.
+func EncodeAbort(id string) []byte { return EncodeOp(OpAbort, id, "") }
+
+// encodeTxnSubs serializes a sub-operation list: count, then per sub the
+// code byte and length-prefixed key and value.
+func encodeTxnSubs(subs []TxnSub) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(subs)))
+	for _, s := range subs {
+		buf = append(buf, byte(s.Code))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Key)))
+		buf = append(buf, s.Key...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Value)))
+		buf = append(buf, s.Value...)
+	}
+	return buf
+}
+
+// DecodeTxnSubs parses a sub-operation list.
+func DecodeTxnSubs(raw []byte) ([]TxnSub, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("kvstore: txn subs too short (%d bytes)", len(raw))
+	}
+	n := binary.BigEndian.Uint32(raw)
+	rest := raw[4:]
+	subs := make([]TxnSub, 0, min(int(n), 64))
+	for i := uint32(0); i < n; i++ {
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("kvstore: truncated txn sub code")
+		}
+		code := OpCode(rest[0])
+		rest = rest[1:]
+		var key, value string
+		var err error
+		if key, rest, err = takeString(rest); err != nil {
+			return nil, fmt.Errorf("kvstore: txn sub key: %w", err)
+		}
+		if value, rest, err = takeString(rest); err != nil {
+			return nil, fmt.Errorf("kvstore: txn sub value: %w", err)
+		}
+		subs = append(subs, TxnSub{Code: code, Key: key, Value: value})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("kvstore: %d trailing bytes after txn subs", len(rest))
+	}
+	return subs, nil
+}
+
+// takeString pops one length-prefixed string off a buffer, comparing
+// lengths in uint64 so hostile 32-bit length fields cannot overflow int
+// arithmetic on 32-bit platforms.
+func takeString(raw []byte) (string, []byte, error) {
+	if len(raw) < 4 {
+		return "", nil, fmt.Errorf("truncated length")
+	}
+	n64 := uint64(binary.BigEndian.Uint32(raw))
+	raw = raw[4:]
+	if n64 > uint64(len(raw)) {
+		return "", nil, fmt.Errorf("truncated payload")
+	}
+	n := int(n64)
+	return string(raw[:n]), raw[n:], nil
+}
+
+// txnResultMarker leads every transaction reply so it can never be
+// confused with a plain single-key reply (or with Locked).
+const txnResultMarker = 'T'
+
+// EncodeTxnResult encodes a transaction reply: the status (TxnCommitted,
+// TxnPrepared or TxnAborted) plus one result per sub-operation, in
+// sub-operation order. An aborted reply carries no results.
+func EncodeTxnResult(status string, results [][]byte) []byte {
+	buf := []byte{txnResultMarker}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(status)))
+	buf = append(buf, status...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(results)))
+	for _, r := range results {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r)))
+		buf = append(buf, r...)
+	}
+	return buf
+}
+
+// DecodeTxnResult parses a transaction reply.
+func DecodeTxnResult(raw []byte) (status string, results [][]byte, err error) {
+	if len(raw) < 1 || raw[0] != txnResultMarker {
+		return "", nil, fmt.Errorf("kvstore: not a txn result (%q)", raw)
+	}
+	rest := raw[1:]
+	if status, rest, err = takeString(rest); err != nil {
+		return "", nil, fmt.Errorf("kvstore: txn result status: %w", err)
+	}
+	if len(rest) < 4 {
+		return "", nil, fmt.Errorf("kvstore: truncated txn result count")
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	for i := uint32(0); i < n; i++ {
+		var r string
+		if r, rest, err = takeString(rest); err != nil {
+			return "", nil, fmt.Errorf("kvstore: txn result %d: %w", i, err)
+		}
+		results = append(results, []byte(r))
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("kvstore: %d trailing bytes after txn result", len(rest))
+	}
+	return status, results, nil
+}
+
+// EncodeScanPart encodes a partition-filtered scan: up to limit pairs
+// whose keys start with prefix AND belong to hash partition part of
+// parts (see PartitionKey).
+func EncodeScanPart(prefix string, limit, part, parts int) []byte {
+	return EncodeOp(OpScanPart, prefix, fmt.Sprintf("%d %d %d", limit, part, parts))
+}
+
+// SplitScan decomposes one OpScan into per-partition OpScanPart
+// operations, one per partition. Each partial scan must carry the full
+// limit — the merge caps the union, and any partition alone may hold up
+// to limit matches.
+func SplitScan(prefix string, limit, parts int) [][]byte {
+	ops := make([][]byte, parts)
+	for p := 0; p < parts; p++ {
+		ops[p] = EncodeScanPart(prefix, limit, p, parts)
+	}
+	return ops
+}
+
+// MergeScans merges per-partition scan results (newline-joined "k=v"
+// lines, sorted within each partition) into one sorted result capped at
+// limit pairs — the reply a whole-keyspace OpScan would have produced.
+// Partitions are disjoint, so a plain merge-and-sort suffices.
+func MergeScans(parts []string, limit int) string {
+	var lines []string
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		lines = append(lines, strings.Split(p, "\n")...)
+	}
+	sort.Strings(lines)
+	if limit > 0 && len(lines) > limit {
+		lines = lines[:limit]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// preparedTxn is a staged (prepared but undecided) transaction: every
+// sub-operation this participant is responsible for, in sub order. The
+// writes apply on commit; the reads are kept because their keys hold
+// locks too (strict two-phase locking — a committed reader observed a
+// stable snapshot, not a half-applied writer).
+type preparedTxn struct {
+	subs []TxnSub
+}
+
+// Prepared returns the ids of staged transactions, sorted — the 2PC
+// participant's in-doubt set.
+func (s *Store) Prepared() []string {
+	ids := make([]string, 0, len(s.prepared))
+	for id := range s.prepared {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// LockHolder returns the id of the prepared transaction write-locking a
+// key ("" if unlocked).
+func (s *Store) LockHolder(key string) string { return s.locks[key] }
+
+// validateSubs checks a transaction's sub-operations: only reads and
+// writes are allowed inside a transaction.
+func validateSubs(subs []TxnSub) error {
+	for _, sub := range subs {
+		if sub.Code != OpGet && sub.Code != OpPut {
+			return fmt.Errorf("kvstore: txn sub op %d (only get/put allowed)", sub.Code)
+		}
+	}
+	return nil
+}
+
+// conflicts reports whether any sub-operation — read or write — targets
+// a key locked by a transaction other than id. Reads conflict too:
+// prepared transactions hold exclusive locks on their whole key set, so
+// committed transactions are serializable, not merely write-atomic.
+func (s *Store) conflicts(id string, subs []TxnSub) bool {
+	for _, sub := range subs {
+		if holder, ok := s.locks[sub.Key]; ok && holder != id {
+			return true
+		}
+	}
+	return false
+}
+
+// executeTxn runs a one-phase multi-key transaction: sub-operations
+// apply in order (reads see the transaction's earlier writes), the whole
+// transaction conflicts with prepared write locks like any single-key
+// write would.
+func (s *Store) executeTxn(id, payload string) []byte {
+	subs, err := DecodeTxnSubs([]byte(payload))
+	if err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	if err := validateSubs(subs); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	if s.conflicts(id, subs) {
+		return []byte(Locked)
+	}
+	results := make([][]byte, len(subs))
+	for i, sub := range subs {
+		switch sub.Code {
+		case OpPut:
+			s.data[sub.Key] = sub.Value
+			results[i] = []byte("OK")
+		case OpGet:
+			if v, ok := s.data[sub.Key]; ok {
+				results[i] = []byte(v)
+			} else {
+				results[i] = []byte("NOTFOUND")
+			}
+		}
+	}
+	return EncodeTxnResult(TxnCommitted, results)
+}
+
+// executePrepare stages one participant's slice of a cross-group
+// transaction: on a write-lock conflict it votes ABORTED without staging
+// anything (no-wait, so 2PC over consensus cannot deadlock); otherwise
+// it executes the reads (seeing the transaction's earlier writes),
+// stages the writes, locks the write set and votes PREPARED. The staged
+// state is part of MarshalState, so checkpoints and state transfer carry
+// in-doubt transactions to recovering replicas.
+func (s *Store) executePrepare(id, payload string) []byte {
+	subs, err := DecodeTxnSubs([]byte(payload))
+	if err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	if err := validateSubs(subs); err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	if _, dup := s.prepared[id]; dup {
+		return []byte("ERR duplicate prepare of txn " + id)
+	}
+	if s.conflicts(id, subs) {
+		return EncodeTxnResult(TxnAborted, nil)
+	}
+	overlay := map[string]string{}
+	results := make([][]byte, len(subs))
+	for i, sub := range subs {
+		s.locks[sub.Key] = id
+		switch sub.Code {
+		case OpPut:
+			overlay[sub.Key] = sub.Value
+			results[i] = []byte("OK")
+		case OpGet:
+			if v, ok := overlay[sub.Key]; ok {
+				results[i] = []byte(v)
+			} else if v, ok := s.data[sub.Key]; ok {
+				results[i] = []byte(v)
+			} else {
+				results[i] = []byte("NOTFOUND")
+			}
+		}
+	}
+	s.prepared[id] = &preparedTxn{subs: subs}
+	return EncodeTxnResult(TxnPrepared, results)
+}
+
+// executeCommit applies a prepared transaction's staged writes and
+// releases its locks.
+func (s *Store) executeCommit(id string) []byte {
+	staged, ok := s.prepared[id]
+	if !ok {
+		return []byte("ERR commit of unknown txn " + id)
+	}
+	for _, sub := range staged.subs {
+		if sub.Code == OpPut {
+			s.data[sub.Key] = sub.Value
+		}
+	}
+	s.releaseTxn(id, staged)
+	return EncodeTxnResult(TxnCommitted, nil)
+}
+
+// executeAbort discards a prepared transaction. Aborting a transaction
+// this participant never prepared (it voted ABORTED, staging nothing) is
+// a no-op, not an error — the coordinator broadcasts its decision to
+// every participant.
+func (s *Store) executeAbort(id string) []byte {
+	if staged, ok := s.prepared[id]; ok {
+		s.releaseTxn(id, staged)
+	}
+	return EncodeTxnResult(TxnAborted, nil)
+}
+
+// releaseTxn drops a transaction's staging and locks.
+func (s *Store) releaseTxn(id string, staged *preparedTxn) {
+	for _, sub := range staged.subs {
+		if s.locks[sub.Key] == id {
+			delete(s.locks, sub.Key)
+		}
+	}
+	delete(s.prepared, id)
+}
+
+// executeScanPart runs a partition-filtered scan. The value field
+// carries "limit part parts".
+func (s *Store) executeScanPart(prefix, value string) []byte {
+	var limit, part, parts int
+	if n, err := fmt.Sscanf(value, "%d %d %d", &limit, &part, &parts); n != 3 || err != nil {
+		return []byte("ERR bad scan partition spec " + strconv.Quote(value))
+	}
+	if limit < 0 || parts < 1 || part < 0 || part >= parts {
+		return []byte("ERR bad scan partition spec " + strconv.Quote(value))
+	}
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) && PartitionKey(k, parts) == part {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.data[k])
+	}
+	return []byte(b.String())
+}

@@ -47,6 +47,14 @@ const (
 	MetricHeartbeatDelay = "heartbeat_delay"  // unit: us (adaptive heartbeat backoff)
 	MetricPeakBacklog    = "peak_backlog"     // unit: count (executor merge backlog)
 	MetricLeaderCPU      = "leader_cpu"       // unit: utilization (busiest node CPU)
+
+	// Sharding metrics exported by E10 (internal/shard).
+	MetricCommittedGoodput = "committed_goodput" // unit: op/s (goodput minus aborted txns)
+	MetricAbortedTxns      = "aborted_txns"      // unit: count (no-wait 2PC conflicts)
+	MetricCrossShardTxns   = "cross_shard_txns"  // unit: count (txns routed through 2PC)
+	MetricLockRetries      = "lock_retries"      // unit: count (LOCKED resubmissions)
+	MetricPrepareWait      = "prepare_wait"      // unit: us (2PC dispatch->all votes)
+	MetricCommitWait       = "commit_wait"       // unit: us (2PC decision->all quorums)
 )
 
 // ResultSeries is one named curve of an experiment result: points share an

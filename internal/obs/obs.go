@@ -97,6 +97,7 @@ type Tracer struct {
 
 	queue, order, net, merge, exec, total *metrics.Recorder
 	mergeWait                             *metrics.Recorder
+	prepareWait, commitWait               *metrics.Recorder
 
 	runs    []string
 	spans   *ring[Span]
@@ -107,15 +108,17 @@ type Tracer struct {
 // an Options combination: nil is what makes the off path a true no-op.
 func New(opts Options) *Tracer {
 	t := &Tracer{
-		spansOn:   opts.Spans,
-		marks:     make(map[string]*reqMarks),
-		queue:     metrics.NewRecorder(),
-		order:     metrics.NewRecorder(),
-		net:       metrics.NewRecorder(),
-		merge:     metrics.NewRecorder(),
-		exec:      metrics.NewRecorder(),
-		total:     metrics.NewRecorder(),
-		mergeWait: metrics.NewRecorder(),
+		spansOn:     opts.Spans,
+		marks:       make(map[string]*reqMarks),
+		queue:       metrics.NewRecorder(),
+		order:       metrics.NewRecorder(),
+		net:         metrics.NewRecorder(),
+		merge:       metrics.NewRecorder(),
+		exec:        metrics.NewRecorder(),
+		total:       metrics.NewRecorder(),
+		mergeWait:   metrics.NewRecorder(),
+		prepareWait: metrics.NewRecorder(),
+		commitWait:  metrics.NewRecorder(),
 	}
 	if opts.Spans {
 		cap := opts.SpanCap
@@ -150,6 +153,8 @@ func (t *Tracer) BeginRun(label string) {
 	t.exec.Reset()
 	t.total.Reset()
 	t.mergeWait.Reset()
+	t.prepareWait.Reset()
+	t.commitWait.Reset()
 }
 
 // run returns the current 1-based run index.
@@ -328,6 +333,26 @@ func (t *Tracer) RecordMergeWait(d sim.Time) {
 	t.mergeWait.Record(d)
 }
 
+// RecordPrepareWait feeds the PREPARE phase duration of one cross-shard
+// transaction: dispatching the prepares until the last participant's
+// vote quorum lands at the coordinator.
+func (t *Tracer) RecordPrepareWait(d sim.Time) {
+	if t == nil {
+		return
+	}
+	t.prepareWait.Record(d)
+}
+
+// RecordCommitWait feeds the decision phase duration of one cross-shard
+// transaction: broadcasting COMMIT/ABORT until the last participant
+// acknowledged applying it.
+func (t *Tracer) RecordCommitWait(d sim.Time) {
+	if t == nil {
+		return
+	}
+	t.commitWait.Record(d)
+}
+
 // Summary is the per-run latency attribution: mean widths of the phase
 // partition over the measured requests. Queue+Order+Net+Merge+Exec ==
 // Total by construction (up to float rounding in downstream conversions).
@@ -344,6 +369,11 @@ type Summary struct {
 	Queue, Order, Net, Merge, Exec, Total sim.Time
 	MergeWait                             sim.Time
 	MergeCount                            int
+	// 2PC phase means of the shard layer's cross-shard transactions (zero
+	// when the run commits nothing across shards): PREPARE dispatch to
+	// vote quorum, and decision broadcast to applied acknowledgment.
+	PrepareWait, CommitWait sim.Time
+	TxnCount                int
 }
 
 // Summary returns the breakdown means of the current run.
@@ -355,8 +385,11 @@ func (t *Tracer) Summary() Summary {
 		Count: t.total.Count(),
 		Queue: t.queue.Mean(), Order: t.order.Mean(), Net: t.net.Mean(),
 		Merge: t.merge.Mean(), Exec: t.exec.Mean(), Total: t.total.Mean(),
-		MergeWait:  t.mergeWait.Mean(),
-		MergeCount: t.mergeWait.Count(),
+		MergeWait:   t.mergeWait.Mean(),
+		MergeCount:  t.mergeWait.Count(),
+		PrepareWait: t.prepareWait.Mean(),
+		CommitWait:  t.commitWait.Mean(),
+		TxnCount:    t.prepareWait.Count(),
 	}
 }
 

@@ -38,6 +38,7 @@ type Cluster struct {
 	Apps     []Application
 
 	nodes      []*fabric.Node
+	prefix     string // node-name prefix ("" standalone, "s3" for shard 3)
 	appFactory func(i int) Application
 	keyrings   []*auth.Keyring
 
@@ -83,13 +84,23 @@ func (c *Cluster) SetTracer(t *obs.Tracer) {
 // the factory, and interconnects all replica pairs. Call Start to
 // complete connection setup, then AddClient.
 func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64, appFactory func(i int) Application) (*Cluster, error) {
+	loop := sim.NewLoop(seed)
+	return NewClusterIn(loop, fabric.New(loop, params), "", kind, cfg, seed, appFactory)
+}
+
+// NewClusterIn builds a replica group on an existing simulation loop and
+// fabric network, so several independent groups — the shard layer's
+// deployment — can share one simulated world. Node names are prefixed
+// (replica i of prefix "s2" is node "s2r1") to keep groups disjoint on
+// the shared network, and keySeed must differ between co-hosted groups
+// so their keyrings do.
+func NewClusterIn(loop *sim.Loop, nw *fabric.Network, prefix string, kind transport.Kind, cfg Config, keySeed int64, appFactory func(i int) Application) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	loop := sim.NewLoop(seed)
-	nw := fabric.New(loop, params)
 	c := &Cluster{
 		Loop: loop, Network: nw, Config: cfg, Kind: kind,
+		prefix:        prefix,
 		appFactory:    appFactory,
 		peerLinks:     make([][]*msgnet.Peer, cfg.N),
 		inboundPeer:   make([][]*msgnet.Peer, cfg.N),
@@ -97,9 +108,9 @@ func NewCluster(kind transport.Kind, cfg Config, params model.Params, seed int64
 	}
 
 	opts := msgnet.DefaultOptions()
-	c.keyrings = auth.GenerateKeyrings(cfg.N, uint64(seed)+1)
+	c.keyrings = auth.GenerateKeyrings(cfg.N, uint64(keySeed)+1)
 	for i := 0; i < cfg.N; i++ {
-		node := nw.AddNode(fmt.Sprintf("r%d", i))
+		node := nw.AddNode(fmt.Sprintf("%sr%d", prefix, i))
 		mesh, err := msgnet.NewMesh(kind, node, opts)
 		if err != nil {
 			return nil, err
@@ -177,8 +188,15 @@ func (c *Cluster) Start() error {
 // AddClient creates a client on its own node, links it to every replica
 // and dials the client ports. Must run after Start.
 func (c *Cluster) AddClient() (*Client, error) {
-	id := uint32(100 + len(c.Clients))
-	node := c.Network.AddNode(fmt.Sprintf("client%d", id))
+	return c.AddClientID(uint32(100 + len(c.Clients)))
+}
+
+// AddClientID is AddClient with an explicit PBFT client identity. The
+// shard router derives identities unique across every group of a
+// deployment — request keys (client, timestamp) name traces in the
+// shared observability stream, so two groups' clients must not collide.
+func (c *Cluster) AddClientID(id uint32) (*Client, error) {
+	node := c.Network.AddNode(fmt.Sprintf("%sclient%d", c.prefix, id))
 	for i := 0; i < c.Config.N; i++ {
 		c.Network.Connect(node, c.nodes[i])
 	}

@@ -2,7 +2,9 @@ package reptor
 
 import (
 	"fmt"
+	"strconv"
 
+	"rubin/internal/kvstore"
 	"rubin/internal/msgnet"
 	"rubin/internal/obs"
 	"rubin/internal/pbft"
@@ -85,15 +87,75 @@ func (c *Client) Invoke(op []byte, done func([]byte)) string {
 	return c.sub[k].Invoke(op, done)
 }
 
-// InvokeRouted routes one operation by an explicit routing key instead
-// of the operation bytes. Instances execute independently against the
-// shared node-local state machine, so per-key semantics hold only when
-// every operation of a key is ordered by the same instance — routing by
-// the state-machine key (as the workload experiments do) guarantees
-// that even when unique values make each operation's bytes distinct.
-func (c *Client) InvokeRouted(route, op []byte, done func([]byte)) string {
-	k := c.group.Config.Route(route)
+// InvokeOp routes one encoded kvstore operation by the state-machine
+// keys it touches (kvstore.OpKeys hashed through kvstore.PartitionKey,
+// the repository's single partitioning function). Instances execute
+// independently against the shared node-local state machine, so per-key
+// semantics hold only when every operation of a key is ordered by the
+// same instance — routing by the state-machine key guarantees that even
+// when unique values make each operation's bytes distinct.
+//
+// Multi-key operations go through the partition structure:
+//
+//   - A scan fans out as one partition-filtered kvstore.OpScanPart per
+//     instance. Partition k's keys are only ever mutated in instance k's
+//     order, so each partial result is deterministic even though the
+//     cross-instance merge interleaves differently per replica; the
+//     partials are merged locally into the reply a whole-store scan
+//     would have produced.
+//   - A one-phase transaction routes to the instance owning its keys
+//     when they all hash to one partition, and is refused otherwise —
+//     cross-instance transactions need the shard layer's 2PC, not COP.
+func (c *Client) InvokeOp(op []byte, done func([]byte)) string {
+	parts := len(c.sub)
+	code, key, value, err := kvstore.DecodeOp(op)
+	if err != nil {
+		// Undecodable bytes still deserve an ordered ERR reply.
+		return c.Invoke(op, done)
+	}
+	if code == kvstore.OpScan && parts > 1 {
+		limit := 0
+		if n, err := strconv.Atoi(value); err == nil && n > 0 {
+			limit = n
+		}
+		return c.scatterScan(key, limit, done)
+	}
+	keys, err := kvstore.OpKeys(op)
+	if err != nil || len(keys) == 0 {
+		return c.Invoke(op, done)
+	}
+	k := kvstore.PartitionKey(keys[0], parts)
+	for _, extra := range keys[1:] {
+		if kvstore.PartitionKey(extra, parts) != k {
+			done([]byte("ERR cross-instance transaction (COP has no 2PC; use the shard layer)"))
+			return ""
+		}
+	}
 	return c.sub[k].Invoke(op, done)
+}
+
+// scatterScan fans a scan out as one OpScanPart per instance and merges
+// the partial replies. done fires once, after the last partial lands.
+// The returned trace id is the partition-0 sub-request's — one
+// representative leg of the scatter.
+func (c *Client) scatterScan(prefix string, limit int, done func([]byte)) string {
+	parts := len(c.sub)
+	partials := make([]string, parts)
+	pending := parts
+	var traceID string
+	for p, sub := range kvstore.SplitScan(prefix, limit, parts) {
+		p := p
+		id := c.sub[p].Invoke(sub, func(res []byte) {
+			partials[p] = string(res)
+			if pending--; pending == 0 {
+				done([]byte(kvstore.MergeScans(partials, limit)))
+			}
+		})
+		if p == 0 {
+			traceID = id
+		}
+	}
+	return traceID
 }
 
 // Completed returns the number of finished invocations across instances.

@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/msgnet"
+	"rubin/internal/pbft"
+	"rubin/internal/sim"
+)
+
+// Router is the routing front-end of a sharded deployment: it owns one
+// PBFT client per shard, routes each operation to the group owning its
+// keys (kvstore.PartitionKey hash ranges), fans scans out across every
+// shard, and coordinates cross-shard transactions with two-phase commit
+// over consensus. The router is a coordinator, not a trust anchor —
+// every PREPARE and COMMIT/ABORT it sends is an ordered operation that
+// a BFT quorum of the participant shard executes, so a faulty router
+// can stall its own transactions but cannot break atomicity.
+type Router struct {
+	dep  *Deployment
+	node string
+	mesh *msgnet.Mesh
+	sub  []*pbft.Client
+
+	// inflight counts operations accepted by InvokeOp whose done has
+	// not fired — unlike the sub-clients' Outstanding, it also covers
+	// lock-retry backoffs and the gap between 2PC phases.
+	inflight int
+	retries  uint64
+	txns2PC  uint64
+	errs     []error
+}
+
+// routerClientID derives the PBFT identity router ridx uses toward
+// shard s. Each (router, shard) pair needs its own identity: request
+// keys are (client, timestamp) pairs traced in the deployment's shared
+// observability stream, so two sub-clients sharing an identity would
+// make unrelated operations indistinguishable. The stride bounds a
+// deployment at 1024 routers before identities could collide.
+func routerClientID(ridx, s int) uint32 { return uint32(100+ridx) + uint32(s)*1024 }
+
+// AddRouter creates a router on its own network node, connected to
+// every replica of every shard. Must run after Start.
+func (d *Deployment) AddRouter() (*Router, error) {
+	ridx := len(d.routers)
+	name := fmt.Sprintf("router%d", ridx)
+	node := d.Network.AddNode(name)
+	n := d.Config.PBFT.N
+	for s := 0; s < d.Config.Shards; s++ {
+		for i := 0; i < n; i++ {
+			d.Network.Connect(node, d.Network.Node(fmt.Sprintf("s%dr%d", s, i)))
+		}
+	}
+	mesh, err := msgnet.NewMesh(d.Kind, node, msgnet.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	mesh.SetTracer(d.tracer)
+	r := &Router{dep: d, node: name, mesh: mesh}
+	var dialErr error
+	dials, want := 0, 0
+	for s := 0; s < d.Config.Shards; s++ {
+		r.sub = append(r.sub, pbft.NewClient(routerClientID(ridx, s), d.Config.PBFT.F))
+		for i := 0; i < n; i++ {
+			want++
+			s, i := s, i
+			d.Loop.Post(func() {
+				mesh.Dial(d.Network.Node(fmt.Sprintf("s%dr%d", s, i)), pbft.ClientPort, func(p *msgnet.Peer, err error) {
+					if err != nil {
+						dialErr = err
+						return
+					}
+					r.sub[s].AttachReplica(uint32(i), p)
+					dials++
+				})
+			})
+		}
+	}
+	d.Loop.Run()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	if dials != want {
+		return nil, fmt.Errorf("shard: router wired %d of %d connections", dials, want)
+	}
+	d.routers = append(d.routers, r)
+	return r, nil
+}
+
+// InvokeOp routes one encoded kvstore operation; done fires exactly
+// once with the final reply. Single-key operations go to the shard
+// owning the key, with a deterministic backoff-and-resubmit whenever
+// the state machine refuses a write with kvstore.Locked. Scans scatter
+// as partition-filtered sub-scans and merge locally. A multi-key
+// transaction runs one-phase on its home shard when every key hashes
+// there, and through 2PC over consensus otherwise. The returned string
+// is the trace id of the operation's (first) sub-request.
+func (r *Router) InvokeOp(op []byte, done func([]byte)) string {
+	r.inflight++
+	finish := func(res []byte) {
+		r.inflight--
+		if done != nil {
+			done(res)
+		}
+	}
+	S := len(r.sub)
+	code, key, value, err := kvstore.DecodeOp(op)
+	if err != nil {
+		// Undecodable bytes still deserve an ordered ERR reply.
+		return r.sub[0].Invoke(op, finish)
+	}
+	if code == kvstore.OpScan && S > 1 {
+		limit := 0
+		if n, err := strconv.Atoi(value); err == nil && n > 0 {
+			limit = n
+		}
+		return r.scatterScan(key, limit, finish)
+	}
+	keys, err := kvstore.OpKeys(op)
+	if err != nil || len(keys) == 0 {
+		return r.sub[0].Invoke(op, finish)
+	}
+	home := kvstore.PartitionKey(keys[0], S)
+	if code == kvstore.OpTxn {
+		for _, k := range keys[1:] {
+			if kvstore.PartitionKey(k, S) != home {
+				return r.invoke2PC(key, value, finish)
+			}
+		}
+	}
+	return r.invokeRetry(home, op, finish)
+}
+
+// invokeRetry submits op to one shard, resubmitting after the
+// configured backoff for as long as the state machine replies
+// kvstore.Locked. The condition clears when the lock-holding prepared
+// transaction's decision executes, so in a live system the retry loop
+// terminates. Each resubmission is a fresh request; the returned trace
+// id is the first attempt's.
+func (r *Router) invokeRetry(shard int, op []byte, done func([]byte)) string {
+	var submit func() string
+	handle := func(res []byte) {
+		if string(res) == kvstore.Locked {
+			r.retries++
+			r.dep.Loop.After(r.dep.Config.Retry, func() { submit() })
+			return
+		}
+		done(res)
+	}
+	submit = func() string { return r.sub[shard].Invoke(op, handle) }
+	return submit()
+}
+
+// scatterScan fans a scan out as one partition-filtered OpScanPart per
+// shard and merges the partial replies into the result a whole-keyspace
+// scan would have produced. done fires once, after the last partial
+// lands. The returned trace id is the shard-0 leg's.
+func (r *Router) scatterScan(prefix string, limit int, done func([]byte)) string {
+	S := len(r.sub)
+	partials := make([]string, S)
+	pending := S
+	var traceID string
+	for s, sub := range kvstore.SplitScan(prefix, limit, S) {
+		s := s
+		id := r.sub[s].Invoke(sub, func(res []byte) {
+			partials[s] = string(res)
+			if pending--; pending == 0 {
+				done([]byte(kvstore.MergeScans(partials, limit)))
+			}
+		})
+		if s == 0 {
+			traceID = id
+		}
+	}
+	return traceID
+}
+
+// participant is one shard's slice of a cross-shard transaction.
+type participant struct {
+	shard int
+	subs  []kvstore.TxnSub
+	idx   []int // positions of subs within the original transaction
+}
+
+// invoke2PC coordinates a cross-shard transaction: a PREPARE carrying
+// each participant's sub-operations is ordered in that shard's log
+// (staging writes, taking locks, executing reads under them), and once
+// every vote is in, the decision — COMMIT iff every shard voted
+// PREPARED — is ordered in every participant's log. Conflicting
+// prepares vote ABORTED instead of waiting (no-wait locking), so 2PC
+// over consensus cannot deadlock; the client sees TxnAborted and may
+// retry the whole transaction. done fires after every decision quorum
+// confirms, with the per-sub results (read values captured at prepare
+// time, under the locks) merged back into original sub order.
+func (r *Router) invoke2PC(id, payload string, done func([]byte)) string {
+	subs, err := kvstore.DecodeTxnSubs([]byte(payload))
+	if err != nil {
+		done([]byte("ERR " + err.Error()))
+		return ""
+	}
+	S := len(r.sub)
+	byShard := make(map[int]*participant)
+	var order []int
+	for i, sub := range subs {
+		s := kvstore.PartitionKey(sub.Key, S)
+		p := byShard[s]
+		if p == nil {
+			p = &participant{shard: s}
+			byShard[s] = p
+			order = append(order, s)
+		}
+		p.subs = append(p.subs, sub)
+		p.idx = append(p.idx, i)
+	}
+	sort.Ints(order) // deterministic dispatch order
+	r.txns2PC++
+
+	results := make([][]byte, len(subs))
+	commit := true
+	pending := len(order)
+	start := r.dep.Loop.Now()
+	var traceID string
+	for _, s := range order {
+		p := byShard[s]
+		tid := r.sub[s].Invoke(kvstore.EncodePrepare(id, p.subs), func(res []byte) {
+			status, rs, err := kvstore.DecodeTxnResult(res)
+			switch {
+			case err == nil && status == kvstore.TxnPrepared && len(rs) == len(p.idx):
+				for j, orig := range p.idx {
+					results[orig] = rs[j]
+				}
+			case err == nil && status == kvstore.TxnAborted:
+				commit = false
+			default:
+				// A quorum-confirmed reply that is neither a vote nor an
+				// abort is a protocol error (malformed transaction, buggy
+				// coordinator); abort and surface it through Errs.
+				commit = false
+				r.errs = append(r.errs, fmt.Errorf("shard %d: txn %s prepare reply %q", p.shard, id, res))
+			}
+			if pending--; pending == 0 {
+				r.decide(id, order, commit, results, start, traceID, done)
+			}
+		})
+		if traceID == "" {
+			traceID = tid
+		}
+	}
+	return traceID
+}
+
+// decide orders the transaction's outcome in every participant's log
+// and replies to the client once all decision quorums confirm. The
+// decision goes to every participant including shards that voted
+// ABORTED without staging anything — aborting an unknown transaction is
+// an idempotent no-op, and the decision must land in each log so every
+// replica of every participant resolves the transaction the same way.
+func (r *Router) decide(id string, order []int, commit bool, results [][]byte, start sim.Time, traceID string, done func([]byte)) {
+	loop := r.dep.Loop
+	voted := loop.Now()
+	if t := r.dep.tracer; t != nil {
+		t.RecordPrepareWait(voted - start)
+		t.Span("shard", "2pc-prepare", r.node, traceID, start, voted)
+	}
+	decision, want, span := kvstore.EncodeCommit(id), kvstore.TxnCommitted, "2pc-commit"
+	if !commit {
+		decision, want, span = kvstore.EncodeAbort(id), kvstore.TxnAborted, "2pc-abort"
+	}
+	pending := len(order)
+	for _, s := range order {
+		s := s
+		r.sub[s].Invoke(decision, func(res []byte) {
+			status, _, err := kvstore.DecodeTxnResult(res)
+			if err != nil || status != want {
+				r.errs = append(r.errs, fmt.Errorf("shard %d: txn %s decision reply %q (want %s)", s, id, res, want))
+			}
+			if pending--; pending == 0 {
+				end := loop.Now()
+				if t := r.dep.tracer; t != nil {
+					t.RecordCommitWait(end - voted)
+					t.Span("shard", span, r.node, traceID, voted, end)
+				}
+				if commit {
+					done(kvstore.EncodeTxnResult(kvstore.TxnCommitted, results))
+				} else {
+					done(kvstore.EncodeTxnResult(kvstore.TxnAborted, nil))
+				}
+			}
+		})
+	}
+}
+
+// Outstanding returns the operations accepted by InvokeOp that have not
+// replied — including ones parked in a lock-retry backoff or between
+// 2PC phases, which hold no sub-client invocation at that instant.
+func (r *Router) Outstanding() int { return r.inflight }
+
+// Completed returns the finished sub-invocations across all shards
+// (2PC counts one per phase per participant).
+func (r *Router) Completed() uint64 {
+	var total uint64
+	for _, s := range r.sub {
+		total += s.Completed()
+	}
+	return total
+}
+
+// Retries returns how many lock-conflict resubmissions the router
+// performed.
+func (r *Router) Retries() uint64 { return r.retries }
+
+// CrossShardTxns returns how many transactions went through 2PC.
+func (r *Router) CrossShardTxns() uint64 { return r.txns2PC }
+
+// Errs joins the 2PC protocol errors observed so far — nil in a
+// healthy run. Votes of ABORTED are normal conflicts, not errors.
+func (r *Router) Errs() error { return errors.Join(r.errs...) }

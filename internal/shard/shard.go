@@ -1,0 +1,158 @@
+// Package shard partitions the keyspace across independent consensus
+// groups. Each shard is a full PBFT replica group — its own log,
+// checkpoints, state transfer and kvstore partition — and a routing
+// front-end (Router) multiplexes client sessions across the groups by
+// deterministic hash ranges (kvstore.PartitionKey). Single-key
+// operations touch exactly one shard; multi-key operations (scans and
+// multi-key read/write transactions) run as scatter-gather reads or as
+// two-phase commit layered over consensus: PREPARE and COMMIT/ABORT are
+// ordered operations in each participant shard's log, so a shard's vote
+// and the transaction's outcome are replicated decisions that survive
+// leader crashes — only the protocol's progress, never its safety,
+// depends on the router.
+package shard
+
+import (
+	"fmt"
+
+	"rubin/internal/fabric"
+	"rubin/internal/kvstore"
+	"rubin/internal/model"
+	"rubin/internal/obs"
+	"rubin/internal/pbft"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// Config parameterizes a sharded deployment.
+type Config struct {
+	// Shards is the number of independent consensus groups the keyspace
+	// is hash-partitioned across.
+	Shards int
+	// PBFT configures every group identically.
+	PBFT pbft.Config
+	// Retry is the backoff before a router re-submits an operation the
+	// state machine refused with kvstore.Locked (a single-key write or
+	// one-phase transaction that hit a prepared transaction's locks).
+	Retry sim.Time
+}
+
+// DefaultConfig returns a 2-shard deployment of default PBFT groups.
+func DefaultConfig() Config {
+	return Config{Shards: 2, PBFT: pbft.DefaultConfig(), Retry: 200 * sim.Microsecond}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: need at least 1 shard, have %d", c.Shards)
+	}
+	if c.Retry <= 0 {
+		return fmt.Errorf("shard: retry backoff must be positive, have %v", c.Retry)
+	}
+	return c.PBFT.Validate()
+}
+
+// keySeedStride separates co-hosted groups' keyring seeds; any constant
+// larger than zero works, a prime just makes collisions with unrelated
+// seed arithmetic unlikely.
+const keySeedStride = 7919
+
+// Deployment is a set of independent PBFT groups sharing one simulation
+// loop and one fabric network — shard s's replica i is node "s<s>r<i>"
+// on the shared network — plus the routers fronting them.
+type Deployment struct {
+	Loop     *sim.Loop
+	Network  *fabric.Network
+	Config   Config
+	Kind     transport.Kind
+	Clusters []*pbft.Cluster
+
+	routers []*Router
+	tracer  *obs.Tracer
+}
+
+// New builds a deployment of cfg.Shards PBFT groups over a shared
+// simulated network. The application factory is invoked per (shard,
+// replica); each shard's replicas hold only that shard's partition of
+// the keyspace, populated and queried through its own group's log. Call
+// Start, then AddRouter.
+func New(kind transport.Kind, cfg Config, params model.Params, seed int64, appFactory func(shard, replica int) pbft.Application) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	loop := sim.NewLoop(seed)
+	d := &Deployment{
+		Loop:    loop,
+		Network: fabric.New(loop, params),
+		Config:  cfg,
+		Kind:    kind,
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		s := s
+		cl, err := pbft.NewClusterIn(loop, d.Network, fmt.Sprintf("s%d", s), kind, cfg.PBFT,
+			seed+int64(s+1)*keySeedStride,
+			func(i int) pbft.Application { return appFactory(s, i) })
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		d.Clusters = append(d.Clusters, cl)
+	}
+	return d, nil
+}
+
+// NewKV builds a deployment whose application is a fresh kvstore.Store
+// per replica — the standard sharded key/value service.
+func NewKV(kind transport.Kind, cfg Config, params model.Params, seed int64) (*Deployment, error) {
+	return New(kind, cfg, params, seed, func(_, _ int) pbft.Application { return kvstore.New() })
+}
+
+// Start brings up every group (listeners plus full peer meshes).
+func (d *Deployment) Start() error {
+	for s, cl := range d.Clusters {
+		if err := cl.Start(); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// SetTracer attaches an observability tracer to every group and router
+// mesh. Call before generating traffic; a nil tracer detaches.
+func (d *Deployment) SetTracer(t *obs.Tracer) {
+	d.tracer = t
+	for _, cl := range d.Clusters {
+		cl.SetTracer(t)
+	}
+	for _, r := range d.routers {
+		r.mesh.SetTracer(t)
+	}
+}
+
+// Cluster returns shard s's replica group — the handle chaos scenarios
+// target to fault one shard.
+func (d *Deployment) Cluster(s int) *pbft.Cluster { return d.Clusters[s] }
+
+// RunFor advances the shared simulation by dur.
+func (d *Deployment) RunFor(dur sim.Time) { d.Loop.RunUntil(d.Loop.Now() + dur) }
+
+// SendFaults sums surfaced delivery failures across every group.
+func (d *Deployment) SendFaults() uint64 {
+	var n uint64
+	for _, cl := range d.Clusters {
+		n += cl.SendFaults()
+	}
+	return n
+}
+
+// PeakQueueBytes returns the deepest msgnet send queue observed on any
+// replica mesh of any group.
+func (d *Deployment) PeakQueueBytes() int {
+	peak := 0
+	for _, cl := range d.Clusters {
+		if q := cl.PeakQueueBytes(); q > peak {
+			peak = q
+		}
+	}
+	return peak
+}

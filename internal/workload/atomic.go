@@ -1,0 +1,76 @@
+package workload
+
+import "fmt"
+
+// CheckAtomicity verifies the all-or-nothing visibility of multi-key
+// transactions: no read — single-key or inside a committed transaction —
+// may observe a value written by a transaction that did not commit. This
+// rejects dirty reads of staged 2PC writes (a value escaping before the
+// decision), reads of aborted transactions' writes, and any write of an
+// unresolved transaction (coordinator crash between PREPARE and COMMIT)
+// becoming visible before a recovery decision is recorded.
+//
+// Together with CheckLinearizable — which explodes committed
+// transactions into per-key operations, so a torn transaction (one
+// sub-write applied, another missing) violates the per-key real-time
+// order — this is the cross-shard correctness bar: committed
+// transactions are observed in full, everything else not at all.
+// History.Check runs both.
+//
+// Write values are globally unique (the driver stamps each with its
+// user, sequence number and sub index), so a value identifies the
+// transaction that wrote it.
+func (h *History) CheckAtomicity() error {
+	writer := map[string]*Op{}
+	for i := range h.ops {
+		op := &h.ops[i]
+		if op.Kind != Txn {
+			continue
+		}
+		for _, s := range op.Sub {
+			if s.Kind == Write && s.Value != "" {
+				writer[s.Value] = op
+			}
+		}
+	}
+	check := func(observed string, reader *Op) error {
+		t, ok := writer[observed]
+		if !ok || t.Result == Committed {
+			return nil
+		}
+		return fmt.Errorf("workload: atomicity violation: u%d read %q written by %s transaction %q of u%d",
+			reader.User, observed, display(t.Result), t.Key, t.User)
+	}
+	for i := range h.ops {
+		op := &h.ops[i]
+		switch op.Kind {
+		case Read:
+			if err := check(op.Result, op); err != nil {
+				return err
+			}
+		case Txn:
+			if op.Result != Committed {
+				continue
+			}
+			for _, s := range op.Sub {
+				if s.Kind != Read {
+					continue
+				}
+				if err := check(s.Result, op); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Check runs the full correctness suite over the history: cross-shard
+// atomicity first (its violations are the more specific report), then
+// per-key linearizability with committed transactions exploded.
+func (h *History) Check() error {
+	if err := h.CheckAtomicity(); err != nil {
+		return err
+	}
+	return h.CheckLinearizable()
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"rubin/internal/sim"
+)
+
+// The checker self-tests build synthetic histories around one writer
+// transaction T = {ka := va, kb := vb} and probe the cross-shard
+// correctness bar: committed transactions are observed in full or not
+// at all.
+
+const (
+	ka, kb = "k000001", "k000002"
+	va, vb = "u1.1.0", "u1.1.1"
+)
+
+// at returns a completed operation spanning [from, to].
+func at(op Op, from, to sim.Time) Op {
+	op.Arrive, op.Invoke, op.Return = from, from, to
+	return op
+}
+
+func writerTxn(result string, from, to sim.Time) Op {
+	return at(Op{
+		User: 1, Kind: Txn, Key: "t1.1", Result: result,
+		Sub: []SubOp{
+			{Kind: Write, Key: ka, Value: va},
+			{Kind: Write, Key: kb, Value: vb},
+		},
+	}, from, to)
+}
+
+func readerTxn(user int, ra, rb string, from, to sim.Time) Op {
+	return at(Op{
+		User: user, Kind: Txn, Key: "t9.9", Result: Committed,
+		Sub: []SubOp{
+			{Kind: Read, Key: ka, Result: ra},
+			{Kind: Read, Key: kb, Result: rb},
+		},
+	}, from, to)
+}
+
+func read(user int, key, saw string, from, to sim.Time) Op {
+	return at(Op{User: user, Kind: Read, Key: key, Result: saw}, from, to)
+}
+
+func histOf(ops ...Op) *History {
+	h := &History{}
+	for _, op := range ops {
+		h.Add(op)
+	}
+	return h
+}
+
+func TestCheckRejectsTornTxnWrite(t *testing.T) {
+	// T committed at time 20, yet a read strictly after it finds kb
+	// still absent: one sub-write applied, the other torn off. The
+	// exploded sub-write of kb must linearize inside [10, 20], before
+	// the read — per-key real time rejects the history.
+	h := histOf(
+		writerTxn(Committed, 10, 20),
+		read(2, ka, va, 30, 40),
+		read(2, kb, Absent, 30, 40),
+	)
+	err := h.Check()
+	if err == nil {
+		t.Fatal("torn transaction accepted")
+	}
+	if !strings.Contains(err.Error(), "not linearizable") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}
+
+func TestCheckRejectsPreCommitObservation(t *testing.T) {
+	// T's staged write escaped to a reader while the decision went
+	// ABORTED: a dirty read of 2PC state.
+	h := histOf(
+		writerTxn(Aborted, 10, 20),
+		read(2, ka, va, 12, 18),
+	)
+	err := h.Check()
+	if err == nil {
+		t.Fatal("dirty read of an aborted transaction accepted")
+	}
+	if !strings.Contains(err.Error(), "atomicity violation") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// The same observation inside a committed reader transaction is
+	// equally illegal.
+	h = histOf(
+		writerTxn(Aborted, 10, 20),
+		readerTxn(3, va, Absent, 12, 18),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("dirty sub-read of an aborted transaction accepted")
+	}
+}
+
+func TestCheckRejectsUnresolvedTxnObservation(t *testing.T) {
+	// The coordinator crashed between PREPARE and COMMIT: no decision
+	// ever reached the client. Until a recovery decision is recorded
+	// the staged writes must stay invisible everywhere.
+	h := histOf(
+		writerTxn(Unresolved, 10, 20),
+		read(2, kb, vb, 50, 60),
+	)
+	err := h.Check()
+	if err == nil {
+		t.Fatal("observation of an unresolved transaction accepted")
+	}
+	if !strings.Contains(err.Error(), "atomicity violation") || !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}
+
+func TestCheckAcceptsCleanInterleaving(t *testing.T) {
+	// A legal schedule: reads concurrent with T may see either world,
+	// reads after T see both writes, an aborted transaction leaves no
+	// trace, and a committed reader transaction observes T in full.
+	h := histOf(
+		read(2, ka, Absent, 1, 5), // before T
+		writerTxn(Committed, 10, 20),
+		read(3, ka, Absent, 8, 15), // concurrent: linearized before T
+		read(4, kb, vb, 15, 25),    // concurrent: linearized after T
+		at(Op{User: 5, Kind: Txn, Key: "t5.5", Result: Aborted,
+			Sub: []SubOp{{Kind: Write, Key: ka, Value: "u5.5.0"}, {Kind: Write, Key: kb, Value: "u5.5.1"}}}, 22, 28),
+		readerTxn(6, va, vb, 30, 40),
+		read(7, ka, va, 45, 50),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+}
+
+func TestCheckAcceptsUnobservedUnresolvedTxn(t *testing.T) {
+	// An in-doubt transaction whose staged writes never leak is not a
+	// violation — the blocked locks are a liveness cost, not a safety
+	// one.
+	h := histOf(
+		writerTxn(Unresolved, 10, 20),
+		read(2, ka, Absent, 30, 40),
+		read(2, kb, Absent, 30, 40),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatalf("unobserved in-doubt transaction rejected: %v", err)
+	}
+}
+
+func TestCheckLinearizableSkipsAbortedSubOps(t *testing.T) {
+	// An aborted transaction's sub-writes must not be exploded into the
+	// per-key order: if they were, the read of ka seeing Absent after
+	// the "write" would fail.
+	h := histOf(
+		at(Op{User: 1, Kind: Txn, Key: "t1.1", Result: Aborted,
+			Sub: []SubOp{{Kind: Write, Key: ka, Value: va}}}, 10, 20),
+		read(2, ka, Absent, 30, 40),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatalf("aborted transaction constrained the register: %v", err)
+	}
+}

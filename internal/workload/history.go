@@ -13,7 +13,30 @@ const (
 	Found = "\x00found"
 	// NotFound is what a delete of an absent key observes.
 	NotFound = "\x00notfound"
+	// Committed is the recorded outcome of a multi-key transaction whose
+	// coordinator reported COMMITTED.
+	Committed = "\x00committed"
+	// Aborted is the recorded outcome of a transaction that was decided
+	// ABORTED (lock conflict, or an explicit recovery decision).
+	Aborted = "\x00aborted"
+	// Unresolved is the recorded outcome of a transaction whose decision
+	// never reached the client — a coordinator crash between PREPARE and
+	// COMMIT. Its writes must be invisible until a decision is recorded.
+	Unresolved = "\x00unresolved"
 )
+
+// SubOp is one sub-operation of a multi-key transaction: a read or a
+// write of a single key.
+type SubOp struct {
+	Kind Kind
+	Key  string
+	// Value is the value a write sub-operation stores.
+	Value string
+	// Result is the normalized observation of a read sub-operation (the
+	// value seen, Absent for a missing key); empty until the transaction
+	// commits — aborted transactions observe nothing.
+	Result string
+}
 
 // Op is one recorded operation of a workload run.
 type Op struct {
@@ -23,9 +46,12 @@ type Op struct {
 	// Value is the value a Write stored.
 	Value string
 	// Result is the normalized observation: reads record the value seen
-	// (Absent for a missing key), deletes record Found or NotFound;
-	// writes and scans record nothing the checker uses.
+	// (Absent for a missing key), deletes record Found or NotFound,
+	// transactions record Committed/Aborted/Unresolved; writes and scans
+	// record nothing the checker uses.
 	Result string
+	// Sub holds a transaction's sub-operations (Kind == Txn only).
+	Sub []SubOp
 	// Arrive is when the operation entered the system. For open-loop
 	// arrivals it precedes Invoke by the queueing delay behind the
 	// user's previous operation, and latency is measured from here.

@@ -22,12 +22,25 @@ const checkBudget = 4 << 20
 // time — an operation that returned before another was invoked precedes
 // it — and (b) is legal for a register starting Absent: a read observes
 // the latest written value (Absent if none), a delete observes whether
-// the key existed and leaves it Absent. Scans are recorded but not
-// checked — they are multi-key observations outside the per-key register
-// model. Every operation must have completed (the driver guarantees it).
+// the key existed and leaves it Absent. Committed transactions are
+// exploded into per-key virtual operations carrying the transaction's
+// interval — the coordinator replies only after every participant
+// applied the COMMIT, so all sub-effects take place inside it, and a
+// later read missing one sub-write (a torn transaction) fails the
+// real-time order. Aborted and unresolved transactions observed nothing
+// and wrote nothing (CheckAtomicity enforces the latter). Scans are
+// recorded but not checked — they are multi-key observations outside
+// the per-key register model. Every operation must have completed (the
+// driver guarantees it).
 func (h *History) CheckLinearizable() error {
 	byKey := map[string][]*Op{}
 	var keys []string
+	add := func(op *Op) {
+		if _, ok := byKey[op.Key]; !ok {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
 	for i := range h.ops {
 		op := &h.ops[i]
 		if op.Kind == Scan {
@@ -37,10 +50,20 @@ func (h *History) CheckLinearizable() error {
 			return fmt.Errorf("workload: malformed interval on %s of %q: arrive=%v invoke=%v return=%v",
 				op.Kind, op.Key, op.Arrive, op.Invoke, op.Return)
 		}
-		if _, ok := byKey[op.Key]; !ok {
-			keys = append(keys, op.Key)
+		if op.Kind == Txn {
+			if op.Result != Committed {
+				continue
+			}
+			for _, s := range op.Sub {
+				add(&Op{
+					User: op.User, Kind: s.Kind, Key: s.Key,
+					Value: s.Value, Result: s.Result,
+					Arrive: op.Arrive, Invoke: op.Invoke, Return: op.Return,
+				})
+			}
+			continue
 		}
-		byKey[op.Key] = append(byKey[op.Key], op)
+		add(op)
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
@@ -214,6 +237,12 @@ func display(result string) string {
 		return "<found>"
 	case NotFound:
 		return "<notfound>"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case Unresolved:
+		return "unresolved"
 	case "":
 		return "-"
 	}

@@ -14,6 +14,10 @@ const (
 	Write
 	Delete
 	Scan
+	// Txn is a multi-key transaction: two sub-operations on distinct keys
+	// that must commit atomically (all-or-nothing), even when the keys
+	// live on different shards.
+	Txn
 )
 
 func (k Kind) String() string {
@@ -26,6 +30,8 @@ func (k Kind) String() string {
 		return "delete"
 	case Scan:
 		return "scan"
+	case Txn:
+		return "txn"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -37,14 +43,15 @@ type Mix struct {
 	WritePct  int
 	DeletePct int
 	ScanPct   int
+	TxnPct    int
 }
 
 // Validate checks the shares.
 func (m Mix) Validate() error {
-	if m.ReadPct < 0 || m.WritePct < 0 || m.DeletePct < 0 || m.ScanPct < 0 {
+	if m.ReadPct < 0 || m.WritePct < 0 || m.DeletePct < 0 || m.ScanPct < 0 || m.TxnPct < 0 {
 		return fmt.Errorf("workload: negative mix share in %v", m)
 	}
-	if sum := m.ReadPct + m.WritePct + m.DeletePct + m.ScanPct; sum != 100 {
+	if sum := m.ReadPct + m.WritePct + m.DeletePct + m.ScanPct + m.TxnPct; sum != 100 {
 		return fmt.Errorf("workload: mix %v sums to %d, want 100", m, sum)
 	}
 	return nil
@@ -60,11 +67,17 @@ func (m Mix) Pick(r *rand.Rand) Kind {
 		return Write
 	case v < m.ReadPct+m.WritePct+m.DeletePct:
 		return Delete
-	default:
+	case v < m.ReadPct+m.WritePct+m.DeletePct+m.ScanPct:
 		return Scan
+	default:
+		return Txn
 	}
 }
 
 func (m Mix) String() string {
-	return fmt.Sprintf("r%d/w%d/d%d/s%d", m.ReadPct, m.WritePct, m.DeletePct, m.ScanPct)
+	s := fmt.Sprintf("r%d/w%d/d%d/s%d", m.ReadPct, m.WritePct, m.DeletePct, m.ScanPct)
+	if m.TxnPct > 0 {
+		s += fmt.Sprintf("/t%d", m.TxnPct)
+	}
+	return s
 }

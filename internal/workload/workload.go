@@ -28,14 +28,14 @@ import (
 )
 
 // Invoker submits one encoded kvstore operation through connection slot
-// conn (0 <= conn < Config.Conns). key is the operation's routing key —
-// the state-machine key it touches, or the scanned prefix — for systems
-// that shard the request space (Reptor's COP routes by it so a single
-// instance orders all operations of a key). done must fire exactly once
-// with the reply. The return value is the submitted request's trace id
-// (pbft request key) for the observability layer — "" when the system
-// does not trace.
-type Invoker func(conn int, key string, op []byte, done func(result []byte)) string
+// conn (0 <= conn < Config.Conns). Systems that shard the request space
+// derive the routing key(s) from the operation itself via kvstore.OpKeys
+// — the shard router and Reptor's COP client both do — so the driver
+// does not pass routing hints. done must fire exactly once with the
+// reply. The return value is the submitted request's trace id (pbft
+// request key) for the observability layer — "" when the system does
+// not trace.
+type Invoker func(conn int, op []byte, done func(result []byte)) string
 
 // Config parameterizes one workload run.
 type Config struct {
@@ -65,6 +65,11 @@ type Config struct {
 	ValueSize int
 	// ScanLimit caps the pairs one scan returns (0 means 16).
 	ScanLimit int
+	// TxnPick chooses the two distinct keys of a multi-key transaction.
+	// The bench layer injects a picker here to control the share of
+	// transactions whose keys land on different shards. Nil draws both
+	// keys from Keys (re-drawing the second until it differs).
+	TxnPick func(r *rand.Rand) (a, b string)
 	// Seed seeds the workload's private random source.
 	Seed int64
 }
@@ -103,13 +108,15 @@ type Driver struct {
 	rec    *metrics.Recorder
 	tracer *obs.Tracer
 
-	total     int
-	issued    int
-	completed int
-	measured  int
-	started   bool
-	startAt   sim.Time
-	endAt     sim.Time
+	total           int
+	issued          int
+	completed       int
+	measured        int
+	aborted         int
+	abortedMeasured int
+	started         bool
+	startAt         sim.Time
+	endAt           sim.Time
 
 	// Open-loop bookkeeping: arrivals hitting a busy user queue behind it.
 	busy     []bool
@@ -212,55 +219,99 @@ func (d *Driver) issue(user int, arrive sim.Time) {
 	}
 	kind := d.cfg.Mix.Pick(d.rng)
 	key := KeyName(d.cfg.Keys.Pick(d.rng))
+	rec := Op{User: user, Kind: kind, Key: key, Arrive: arrive, Measured: measured}
 	var raw []byte
-	var value string
 	switch kind {
 	case Read:
 		raw = kvstore.EncodeOp(kvstore.OpGet, key, "")
 	case Write:
-		value = d.writeValue(user, seq)
-		raw = kvstore.EncodeOp(kvstore.OpPut, key, value)
+		rec.Value = d.writeValue(user, seq, -1)
+		raw = kvstore.EncodeOp(kvstore.OpPut, key, rec.Value)
 	case Delete:
 		raw = kvstore.EncodeOp(kvstore.OpDelete, key, "")
 	case Scan:
 		// Scan the run of up to ten adjacent keys sharing the prefix.
-		key = key[:len(key)-1]
-		raw = kvstore.EncodeOp(kvstore.OpScan, key, strconv.Itoa(d.cfg.ScanLimit))
+		rec.Key = key[:len(key)-1]
+		raw = kvstore.EncodeOp(kvstore.OpScan, rec.Key, strconv.Itoa(d.cfg.ScanLimit))
+	case Txn:
+		raw = d.buildTxn(&rec, user, seq)
 	}
-	invokeAt := d.loop.Now()
+	rec.Invoke = d.loop.Now()
 	var traceID string
-	traceID = d.invoke(user%d.cfg.Conns, key, raw, func(res []byte) {
-		d.complete(user, kind, key, value, arrive, invokeAt, measured, traceID, res)
+	traceID = d.invoke(user%d.cfg.Conns, raw, func(res []byte) {
+		d.complete(rec, traceID, res)
 	})
 	// Safe after the invoke: replies cross the simulated network, so done
 	// cannot have fired synchronously at this same event.
 	if d.tracer != nil && traceID != "" {
-		d.tracer.MarkArrive(traceID, arrive)
-		d.tracer.MarkInvoke(traceID, invokeAt)
+		d.tracer.MarkArrive(traceID, rec.Arrive)
+		d.tracer.MarkInvoke(traceID, rec.Invoke)
 	}
+}
+
+// buildTxn fills in one multi-key transaction — half the draws write two
+// keys atomically, half read two keys atomically — and returns its
+// encoded one-phase form. A router splits it into PREPARE/COMMIT when
+// the keys span shards.
+func (d *Driver) buildTxn(rec *Op, user, seq int) []byte {
+	a, b := d.txnKeys()
+	id := fmt.Sprintf("t%d.%d", user, seq)
+	rec.Key = id
+	var subs []kvstore.TxnSub
+	if d.rng.Intn(2) == 0 {
+		va, vb := d.writeValue(user, seq, 0), d.writeValue(user, seq, 1)
+		rec.Sub = []SubOp{{Kind: Write, Key: a, Value: va}, {Kind: Write, Key: b, Value: vb}}
+		subs = []kvstore.TxnSub{{Code: kvstore.OpPut, Key: a, Value: va}, {Code: kvstore.OpPut, Key: b, Value: vb}}
+	} else {
+		rec.Sub = []SubOp{{Kind: Read, Key: a}, {Kind: Read, Key: b}}
+		subs = []kvstore.TxnSub{{Code: kvstore.OpGet, Key: a}, {Code: kvstore.OpGet, Key: b}}
+	}
+	return kvstore.EncodeTxn(id, subs)
+}
+
+// txnKeys draws the two distinct keys of a transaction.
+func (d *Driver) txnKeys() (string, string) {
+	if d.cfg.TxnPick != nil {
+		return d.cfg.TxnPick(d.rng)
+	}
+	a := d.cfg.Keys.Pick(d.rng)
+	b := d.cfg.Keys.Pick(d.rng)
+	for tries := 0; b == a && tries < 16; tries++ {
+		b = d.cfg.Keys.Pick(d.rng)
+	}
+	if b == a {
+		b = (a + 1) % d.cfg.Keys.Keys()
+	}
+	return KeyName(a), KeyName(b)
 }
 
 // complete records one finished operation and schedules the user's next
 // work according to the arrival model.
-func (d *Driver) complete(user int, kind Kind, key, value string, arrive, invokeAt sim.Time, measured bool, traceID string, res []byte) {
+func (d *Driver) complete(rec Op, traceID string, res []byte) {
 	ret := d.loop.Now()
+	measured := rec.Measured
 	if d.tracer != nil && traceID != "" {
 		d.tracer.MarkReturn(traceID, ret)
 		d.tracer.Finish(traceID, measured)
 	}
-	d.hist.Add(Op{
-		User: user, Kind: kind, Key: key, Value: value,
-		Result: normalize(kind, res),
-		Arrive: arrive, Invoke: invokeAt, Return: ret, Measured: measured,
-	})
+	rec.Return = ret
+	d.normalize(&rec, res)
+	d.hist.Add(rec)
 	d.completed++
+	if rec.Kind == Txn && rec.Result != Committed {
+		d.aborted++
+		if measured {
+			d.abortedMeasured++
+		}
+	}
 	if measured {
 		d.measured++
-		d.rec.Record(ret - arrive)
+		d.rec.Record(ret - rec.Arrive)
 		if ret > d.endAt {
 			d.endAt = ret
 		}
 	}
+	user := rec.User
 	if d.cfg.Arrival.Model == ModelClosed {
 		if d.issued < d.total {
 			d.loop.After(d.cfg.Arrival.Think, func() {
@@ -280,8 +331,14 @@ func (d *Driver) complete(user int, kind Kind, key, value string, arrive, invoke
 }
 
 // writeValue builds the unique value of one write, padded to ValueSize.
-func (d *Driver) writeValue(user, seq int) string {
+// sub is the sub-operation index inside a transaction (-1 for a plain
+// write); the stem stays unique across both forms because no stem is
+// another stem followed by padding dots.
+func (d *Driver) writeValue(user, seq, sub int) string {
 	v := fmt.Sprintf("u%d.%d", user, seq)
+	if sub >= 0 {
+		v = fmt.Sprintf("%s.%d", v, sub)
+	}
 	if pad := d.cfg.ValueSize - len(v); pad > 0 {
 		v += strings.Repeat(".", pad)
 	}
@@ -290,27 +347,48 @@ func (d *Driver) writeValue(user, seq int) string {
 
 // normalize maps a kvstore reply onto the observation the history
 // records: reads record the value seen (Absent for a missing key),
-// deletes record Found/NotFound, writes and scans record nothing the
-// checker uses. Unexpected replies are recorded verbatim so they surface
-// as linearizability violations rather than vanishing.
-func normalize(kind Kind, res []byte) string {
+// deletes record Found/NotFound, transactions record their outcome plus
+// per-sub read observations, writes and scans record nothing the checker
+// uses. Unexpected replies are recorded verbatim so they surface as
+// correctness violations rather than vanishing.
+func (d *Driver) normalize(rec *Op, res []byte) {
 	s := string(res)
-	switch kind {
+	switch rec.Kind {
 	case Read:
 		if s == "NOTFOUND" {
-			return Absent
+			rec.Result = Absent
+		} else {
+			rec.Result = s
 		}
-		return s
 	case Delete:
 		switch s {
 		case "OK":
-			return Found
+			rec.Result = Found
 		case "NOTFOUND":
-			return NotFound
+			rec.Result = NotFound
+		default:
+			rec.Result = s
 		}
-		return s
+	case Txn:
+		status, results, err := kvstore.DecodeTxnResult(res)
+		switch {
+		case err == nil && status == kvstore.TxnCommitted && len(results) == len(rec.Sub):
+			rec.Result = Committed
+			for i := range rec.Sub {
+				if rec.Sub[i].Kind == Read {
+					if v := string(results[i]); v == "NOTFOUND" {
+						rec.Sub[i].Result = Absent
+					} else {
+						rec.Sub[i].Result = v
+					}
+				}
+			}
+		case err == nil && status == kvstore.TxnAborted:
+			rec.Result = Aborted
+		default:
+			rec.Result = s
+		}
 	}
-	return ""
 }
 
 // SetTracer attaches an observability tracer: each operation's arrival,
@@ -344,4 +422,16 @@ func (d *Driver) MeasuredSpan() (start, end sim.Time) { return d.startAt, d.endA
 // rate, which is exactly the signal the E9 curves plot.
 func (d *Driver) Goodput() float64 {
 	return metrics.Throughput(d.measured, d.endAt-d.startAt)
+}
+
+// Aborted returns how many transactions finished aborted (or
+// unresolved) — their effects never became visible, so they do not
+// count as useful work.
+func (d *Driver) Aborted() int { return d.aborted }
+
+// CommittedGoodput returns measured operations per second excluding
+// aborted transactions — the committed (useful) throughput the E10
+// scaling curves plot.
+func (d *Driver) CommittedGoodput() float64 {
+	return metrics.Throughput(d.measured-d.abortedMeasured, d.endAt-d.startAt)
 }

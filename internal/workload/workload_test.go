@@ -220,7 +220,7 @@ type fakeService struct {
 	calls int
 }
 
-func (s *fakeService) invoke(conn int, key string, op []byte, done func([]byte)) string {
+func (s *fakeService) invoke(conn int, op []byte, done func([]byte)) string {
 	s.calls++
 	jitter := sim.Time(s.calls%7) * sim.Microsecond
 	s.loop.After(s.delay+jitter, func() {
@@ -233,7 +233,7 @@ func testConfig(arrival Arrival) Config {
 	return Config{
 		Users: 20, Conns: 4, Ops: 400, Warmup: 40,
 		Keys:    NewZipf(24, 0.9),
-		Mix:     Mix{ReadPct: 40, WritePct: 40, DeletePct: 10, ScanPct: 10},
+		Mix:     Mix{ReadPct: 35, WritePct: 35, DeletePct: 10, ScanPct: 10, TxnPct: 10},
 		Arrival: arrival, ValueSize: 32, Seed: 9,
 	}
 }
@@ -269,7 +269,7 @@ func TestDriverClosedLoop(t *testing.T) {
 	if end <= start || d.Goodput() <= 0 {
 		t.Fatalf("measured span [%v, %v], goodput %v", start, end, d.Goodput())
 	}
-	if err := d.History().CheckLinearizable(); err != nil {
+	if err := d.History().Check(); err != nil {
 		t.Fatal(err)
 	}
 	kinds := map[Kind]int{}
@@ -279,10 +279,57 @@ func TestDriverClosedLoop(t *testing.T) {
 			t.Fatal("closed-loop ops must not queue")
 		}
 	}
-	for _, k := range []Kind{Read, Write, Delete, Scan} {
+	for _, k := range []Kind{Read, Write, Delete, Scan, Txn} {
 		if kinds[k] == 0 {
 			t.Errorf("mix produced no %s ops", k)
 		}
+	}
+	// One-phase transactions against a single store never conflict.
+	if d.Aborted() != 0 {
+		t.Fatalf("%d transactions aborted against a lock-free store", d.Aborted())
+	}
+	if d.CommittedGoodput() != d.Goodput() {
+		t.Fatal("committed goodput diverged with zero aborts")
+	}
+}
+
+func TestDriverTxnsRecordSubOps(t *testing.T) {
+	cfg := testConfig(Closed(2, 0))
+	cfg.Mix = Mix{WritePct: 30, TxnPct: 70}
+	d, _ := runDriver(t, cfg)
+	if err := d.History().Check(); err != nil {
+		t.Fatal(err)
+	}
+	readers, writers := 0, 0
+	for _, op := range d.History().Ops() {
+		if op.Kind != Txn {
+			continue
+		}
+		if op.Result != Committed {
+			t.Fatalf("txn %q finished %q", op.Key, op.Result)
+		}
+		if len(op.Sub) != 2 || op.Sub[0].Key == op.Sub[1].Key {
+			t.Fatalf("txn %q subs: %+v", op.Key, op.Sub)
+		}
+		switch op.Sub[0].Kind {
+		case Read:
+			readers++
+			for _, s := range op.Sub {
+				if s.Result == "" {
+					t.Fatalf("committed reader txn %q has empty observation", op.Key)
+				}
+			}
+		case Write:
+			writers++
+			for _, s := range op.Sub {
+				if s.Value == "" {
+					t.Fatalf("writer txn %q has empty value", op.Key)
+				}
+			}
+		}
+	}
+	if readers == 0 || writers == 0 {
+		t.Fatalf("mix produced %d reader and %d writer txns", readers, writers)
 	}
 }
 
@@ -354,7 +401,7 @@ func TestDriverScanRepliesMatchPrefix(t *testing.T) {
 	loop := sim.NewLoop(1)
 	store := kvstore.New()
 	scans := 0
-	d, err := New(loop, cfg, func(_ int, key string, op []byte, done func([]byte)) string {
+	d, err := New(loop, cfg, func(_ int, op []byte, done func([]byte)) string {
 		loop.After(sim.Microsecond, func() {
 			res := store.Execute(op)
 			if code, prefix, _, _ := kvstore.DecodeOp(op); code == kvstore.OpScan {
@@ -398,7 +445,7 @@ func TestConfigValidateRejectsBadShapes(t *testing.T) {
 	} {
 		cfg := good
 		mutate(&cfg)
-		if _, err := New(sim.NewLoop(1), cfg, func(int, string, []byte, func([]byte)) string { return "" }); err == nil {
+		if _, err := New(sim.NewLoop(1), cfg, func(int, []byte, func([]byte)) string { return "" }); err == nil {
 			t.Errorf("%s: config accepted", name)
 		}
 	}
@@ -411,7 +458,7 @@ func TestDriverReportsIncompleteRuns(t *testing.T) {
 	cfg := testConfig(Closed(1, 0))
 	cfg.Users, cfg.Ops, cfg.Warmup = 2, 4, 0
 	loop := sim.NewLoop(1)
-	d, err := New(loop, cfg, func(_ int, _ string, _ []byte, done func([]byte)) string {
+	d, err := New(loop, cfg, func(_ int, _ []byte, done func([]byte)) string {
 		// Drop every request: done never fires.
 		return ""
 	})

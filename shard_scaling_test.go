@@ -1,0 +1,45 @@
+package rubin_test
+
+import (
+	"math"
+	"testing"
+
+	"rubin/internal/metrics"
+)
+
+// TestShardScalingCheckedIn pins the headline claim of E10 against the
+// checked-in BENCH_E10.json: the sweep covers S ∈ {1,2,4,8} on both
+// transports, and at a 0% cross-shard share, partitioning the keyspace
+// into four consensus groups lifts committed throughput at least 2.5x
+// over the single-group deployment on at least one transport. If a
+// change to the consensus core or the router erodes the scale-out, the
+// regenerated file fails here instead of silently shipping.
+func TestShardScalingCheckedIn(t *testing.T) {
+	res, err := metrics.ReadResultFile("BENCH_E10.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "E10" {
+		t.Fatalf("experiment %q, want E10", res.Experiment)
+	}
+	shards := []float64{1, 2, 4, 8}
+	names := []string{"scale cross=0% RUBIN", "scale cross=0% NIO"}
+	bestRatio := 0.0
+	for _, name := range names {
+		s := res.GetSeries(name, metrics.MetricCommittedGoodput)
+		if s == nil {
+			t.Fatalf("missing series (%s, %s)", name, metrics.MetricCommittedGoodput)
+		}
+		for _, x := range shards {
+			if y := s.At(x); math.IsNaN(y) || y <= 0 {
+				t.Fatalf("series %q: no positive point at %v shards", name, x)
+			}
+		}
+		if ratio := s.At(4) / s.At(1); ratio > bestRatio {
+			bestRatio = ratio
+		}
+	}
+	if bestRatio < 2.5 {
+		t.Fatalf("committed goodput S=4/S=1 = %.2fx on the better transport, want >= 2.5x", bestRatio)
+	}
+}
