@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"rubin/internal/metrics"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+	"rubin/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Registry entry: E11 (read-only fast path × batch size study).
+// ---------------------------------------------------------------------------
+//
+// E11 measures the PBFT read-only optimization (Castro & Liskov §4.4):
+// clients multicast side-effect-free requests to every replica, replicas
+// execute them tentatively against their last-executed state, and the
+// client accepts on 2F+1 matching replies — skipping agreement entirely.
+// Two sweeps, each run with the fast path on and off on both transports:
+//
+//   - mix: read share of a closed-loop workload (x = read_pct). The
+//     fast path's payoff should grow with the read share.
+//   - batch: agreement batch size at the highest read share (x = batch).
+//     Batching amortizes agreement for writes; the fast path removes
+//     agreement for reads. The sweep shows how much of the fast path's
+//     win batching alone can (and cannot) recover.
+//
+// Every point runs under the workload history oracle — a fast-path read
+// returning a stale or unordered value fails the per-key
+// linearizability check and aborts the experiment. fp=on points also
+// export the fast-read and fallback counters so a run that silently
+// degraded to the ordered path is visible in the data.
+
+func init() {
+	Register(Experiment{
+		Name:   "E11",
+		Title:  "read-only fast path: read share and batch size under the linearizability oracle",
+		Figure: "beyond the paper: Castro-Liskov read optimization on the RDMA transport study",
+		Params: func(rc RunContext) (map[string]string, error) {
+			_, cfg, err := resolveE11(rc)
+			return cfg, err
+		},
+		Run: runE11,
+	})
+}
+
+// e11Knobs are the resolved parameters of one E11 run.
+type e11Knobs struct {
+	readPcts    []int // read shares of the mix sweep
+	batches     []int // agreement batch sizes of the batch sweep
+	n           int
+	users       int
+	conns       int
+	keys        int
+	ops         int
+	warmup      int
+	valueBytes  int
+	window      int // closed-loop outstanding per user
+	readTimeout int // fast-read fallback timeout, us
+}
+
+func resolveE11(rc RunContext) (e11Knobs, map[string]string, error) {
+	k := e11Knobs{
+		readPcts: []int{50, 90, 99},
+		batches:  []int{1, 8, 32},
+		n:        4, users: 96, conns: 4, keys: 128,
+		ops: 300, warmup: 30, valueBytes: 128, window: 1,
+		readTimeout: 2000,
+	}
+	if rc.Quick {
+		k.readPcts, k.batches = []int{90}, []int{8}
+		k.users, k.conns, k.keys = 24, 2, 32
+		k.ops, k.warmup = 60, 10
+	}
+	var err error
+	if k.readPcts, err = rc.nonNegIntsKnob("read_pcts", k.readPcts); err != nil {
+		return k, nil, err
+	}
+	if k.batches, err = rc.intsKnob("batches", k.batches); err != nil {
+		return k, nil, err
+	}
+	if k.n, err = rc.intKnob("n", k.n); err != nil {
+		return k, nil, err
+	}
+	if k.users, err = rc.intKnob("users", k.users); err != nil {
+		return k, nil, err
+	}
+	if k.conns, err = rc.intKnob("conns", k.conns); err != nil {
+		return k, nil, err
+	}
+	if k.keys, err = rc.intKnob("keys", k.keys); err != nil {
+		return k, nil, err
+	}
+	if k.ops, err = rc.intKnob("ops", k.ops); err != nil {
+		return k, nil, err
+	}
+	if k.warmup, err = rc.intKnob("warmup", k.warmup); err != nil {
+		return k, nil, err
+	}
+	if k.valueBytes, err = rc.intKnob("value_bytes", k.valueBytes); err != nil {
+		return k, nil, err
+	}
+	if k.window, err = rc.intKnob("window", k.window); err != nil {
+		return k, nil, err
+	}
+	if k.readTimeout, err = rc.intKnob("read_timeout_us", k.readTimeout); err != nil {
+		return k, nil, err
+	}
+	if k.n < 4 {
+		return k, nil, fmt.Errorf("bench: E11 needs n >= 4 (3f+1), got %d", k.n)
+	}
+	if k.users < k.conns || k.conns < 1 {
+		return k, nil, fmt.Errorf("bench: E11 needs 1 <= conns <= users, got %d/%d", k.conns, k.users)
+	}
+	if k.window < 1 || k.keys < 10 || k.readTimeout < 1 {
+		return k, nil, fmt.Errorf("bench: E11 needs window >= 1, keys >= 10 and read_timeout_us >= 1")
+	}
+	if len(k.readPcts) == 0 || len(k.batches) == 0 {
+		return k, nil, fmt.Errorf("bench: E11 needs non-empty read_pcts and batches")
+	}
+	for _, r := range k.readPcts {
+		if r > 100 {
+			return k, nil, fmt.Errorf("bench: E11 read_pcts are percentages, got %d", r)
+		}
+	}
+	for _, b := range k.batches {
+		if b < 1 {
+			return k, nil, fmt.Errorf("bench: E11 batch sizes must be >= 1, got %d", b)
+		}
+	}
+	cfg := map[string]string{
+		"read_pcts":       formatInts(k.readPcts),
+		"batches":         formatInts(k.batches),
+		"n":               strconv.Itoa(k.n),
+		"users":           strconv.Itoa(k.users),
+		"conns":           strconv.Itoa(k.conns),
+		"keys":            strconv.Itoa(k.keys),
+		"ops":             strconv.Itoa(k.ops),
+		"warmup":          strconv.Itoa(k.warmup),
+		"value_bytes":     strconv.Itoa(k.valueBytes),
+		"window":          strconv.Itoa(k.window),
+		"read_timeout_us": strconv.Itoa(k.readTimeout),
+	}
+	return k, cfg, nil
+}
+
+// e11Series is one E11 sweep combo's series bundle: the shared E9
+// percentile/breakdown bundle plus — for fast-path-on combos only — the
+// fast-read and fallback counters.
+type e11Series struct {
+	e9Series
+	fastReads *metrics.ResultSeries
+	fastFalls *metrics.ResultSeries
+}
+
+func addE11Series(res *metrics.Result, name, transport, xLabel string, fast bool) e11Series {
+	s := e11Series{e9Series: addE9Series(res, name, transport, xLabel, false)}
+	if fast {
+		s.fastReads = res.AddSeries(name, metrics.MetricFastReads, "count", transport, xLabel)
+		s.fastFalls = res.AddSeries(name, metrics.MetricFastFallbacks, "count", transport, xLabel)
+	}
+	return s
+}
+
+func (s e11Series) observe(x float64, r TrafficResult) {
+	s.e9Series.observe(x, r)
+	if s.fastReads != nil {
+		s.fastReads.Add(x, float64(r.FastReads))
+		s.fastFalls.Add(x, float64(r.FastFallbacks))
+	}
+}
+
+// e11Check enforces the invariants every E11 point must satisfy beyond
+// RunTraffic's own health and linearizability checks: a fast-path-on
+// point with reads in the mix must actually serve fast reads (a run
+// that silently degraded to ordering is a failed experiment, not a
+// slow one), and a fast-path-off point must never use it.
+func e11Check(r TrafficResult, fast bool, readPct int) error {
+	if !fast {
+		if r.FastReads != 0 || r.FastFallbacks != 0 {
+			return fmt.Errorf("bench: fast path off but served %d fast reads, %d fallbacks",
+				r.FastReads, r.FastFallbacks)
+		}
+		return nil
+	}
+	if readPct > 0 && r.FastReads == 0 {
+		return fmt.Errorf("bench: fast path on with %d%% reads served none fast (%d fallbacks)",
+			readPct, r.FastFallbacks)
+	}
+	return nil
+}
+
+func runE11(rc RunContext, res *metrics.Result) error {
+	k, _, err := resolveE11(rc)
+	if err != nil {
+		return err
+	}
+	readTimeout := sim.Time(k.readTimeout) * sim.Microsecond
+	// The batch sweep pins the read share at the mix sweep's highest —
+	// where the fast path has the most agreement work to remove.
+	topRead := k.readPcts[0]
+	for _, r := range k.readPcts[1:] {
+		if r > topRead {
+			topRead = r
+		}
+	}
+	base := func(kind transport.Kind, fast bool) TrafficConfig {
+		cfg := TrafficConfig{
+			Kind: kind,
+			N:    k.n, F: (k.n - 1) / 3,
+			Users: k.users, Conns: k.conns, Keys: k.keys,
+			ValueSize: k.valueBytes, Ops: k.ops, Warmup: k.warmup,
+			Zipf100: 99, Arrival: workload.Closed(k.window, 0),
+			Seed: rc.Seed, Trace: rc.Trace,
+		}
+		if fast {
+			cfg.ReadFastPath, cfg.ReadTimeout = true, readTimeout
+		}
+		return cfg
+	}
+	fpLabel := map[bool]string{true: "fp=on", false: "fp=off"}
+	// Sweep 1: read share at the default batch size.
+	for _, kind := range e8Transports {
+		for _, fast := range []bool{true, false} {
+			name := fmt.Sprintf("mix %s %s", fpLabel[fast], e8Label(kind))
+			ss := addE11Series(res, name, string(kind), "read_pct", fast)
+			for _, readPct := range k.readPcts {
+				cfg := base(kind, fast)
+				cfg.Mix = e9Mix(readPct, 0, 0)
+				r, err := RunTraffic(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("read_pct=%d %s %s: %w", readPct, fpLabel[fast], kind, err)
+				}
+				if err := e11Check(r, fast, readPct); err != nil {
+					return fmt.Errorf("read_pct=%d %s %s: %w", readPct, fpLabel[fast], kind, err)
+				}
+				ss.observe(float64(readPct), r)
+			}
+		}
+	}
+	// Sweep 2: agreement batch size at the highest read share.
+	for _, kind := range e8Transports {
+		for _, fast := range []bool{true, false} {
+			name := fmt.Sprintf("batch %s %s", fpLabel[fast], e8Label(kind))
+			ss := addE11Series(res, name, string(kind), "batch", fast)
+			for _, batch := range k.batches {
+				cfg := base(kind, fast)
+				cfg.Mix = e9Mix(topRead, 0, 0)
+				cfg.BatchSize = batch
+				r, err := RunTraffic(cfg, rc.Model)
+				if err != nil {
+					return fmt.Errorf("batch=%d %s %s: %w", batch, fpLabel[fast], kind, err)
+				}
+				if err := e11Check(r, fast, topRead); err != nil {
+					return fmt.Errorf("batch=%d %s %s: %w", batch, fpLabel[fast], kind, err)
+				}
+				ss.observe(float64(batch), r)
+			}
+		}
+	}
+	return nil
+}

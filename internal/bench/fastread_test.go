@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"rubin/internal/metrics"
+	"rubin/internal/transport"
+	"rubin/internal/workload"
+)
+
+// tinyE11Context shrinks E11 below quick mode while keeping both
+// sweeps, both fast-path settings and both transports on their real
+// code paths.
+func tinyE11Context() RunContext {
+	rc := DefaultRunContext()
+	rc.Quick = true
+	rc.Seed = 13
+	rc.Knobs = map[string]string{
+		"read_pcts": "80", "batches": "4",
+		"users": "8", "conns": "2", "keys": "16", "ops": "40", "warmup": "5",
+	}
+	return rc
+}
+
+// TestE11SameSeedRunsAreByteIdentical pins E11's determinism and shape:
+// two same-seed runs marshal byte-identically, every sweep × fp × transport
+// combo carries a positive goodput point, and the fp=on combos export
+// positive fast-read counters.
+func TestE11SameSeedRunsAreByteIdentical(t *testing.T) {
+	rc := tinyE11Context()
+	first, err := Run("E11", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run("E11", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := first.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := second.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two seed-13 E11 runs marshal differently")
+	}
+	for _, prefix := range []string{"mix", "batch"} {
+		for _, fp := range []string{"fp=on", "fp=off"} {
+			for _, tr := range []string{"RUBIN", "NIO"} {
+				name := prefix + " " + fp + " " + tr
+				s := first.GetSeries(name, metrics.MetricGoodput)
+				if s == nil {
+					t.Fatalf("missing series (%s, goodput)", name)
+				}
+				if len(s.Points) == 0 || s.Points[0].Y <= 0 {
+					t.Fatalf("series (%s, goodput) carries no positive point", name)
+				}
+				fr := first.GetSeries(name, metrics.MetricFastReads)
+				if fp == "fp=on" {
+					if fr == nil || len(fr.Points) == 0 || fr.Points[0].Y <= 0 {
+						t.Fatalf("series (%s) exports no positive fast_reads", name)
+					}
+				} else if fr != nil {
+					t.Fatalf("fp=off series %q exports fast_reads", name)
+				}
+			}
+		}
+	}
+}
+
+// TestRunTrafficCOPFastPath proves the fast path composes with COP:
+// single-key reads ride the owning instance's multicast path, the
+// history records them, and the run still passes the linearizability
+// oracle inside RunTraffic.
+func TestRunTrafficCOPFastPath(t *testing.T) {
+	cfg := TrafficConfig{
+		Kind: transport.KindRDMA, Instances: 2, N: 4, F: 1,
+		Users: 8, Conns: 2, Keys: 16, ValueSize: 16,
+		Ops: 60, Warmup: 5,
+		Mix:          workload.Mix{ReadPct: 70, WritePct: 25, ScanPct: 5},
+		Zipf100:      99,
+		Arrival:      workload.Closed(1, 0),
+		Seed:         7,
+		ReadFastPath: true,
+	}
+	r, err := RunTraffic(cfg, DefaultRunContext().Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FastReads == 0 {
+		t.Fatalf("COP run served no fast reads (fallbacks=%d)", r.FastFallbacks)
+	}
+	if r.FastOps == 0 {
+		t.Fatal("history recorded no fast-path operations")
+	}
+	if r.FastOps > int(r.FastReads) {
+		t.Fatalf("history tags %d fast ops but clients served only %d", r.FastOps, r.FastReads)
+	}
+}
+
+// TestRunTrafficFastPathOffIsInert pins the opt-in contract: without
+// the flag, no fast reads are served and no history op is tagged, even
+// for a read-heavy mix.
+func TestRunTrafficFastPathOffIsInert(t *testing.T) {
+	cfg := TrafficConfig{
+		Kind: transport.KindTCP, N: 4, F: 1,
+		Users: 6, Conns: 2, Keys: 16, ValueSize: 16,
+		Ops: 40, Warmup: 5,
+		Mix:     workload.Mix{ReadPct: 80, WritePct: 20},
+		Arrival: workload.Closed(1, 0),
+		Seed:    9,
+	}
+	r, err := RunTraffic(cfg, DefaultRunContext().Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FastReads != 0 || r.FastFallbacks != 0 || r.FastOps != 0 {
+		t.Fatalf("fast path leaked into a disabled run: reads=%d fallbacks=%d ops=%d",
+			r.FastReads, r.FastFallbacks, r.FastOps)
+	}
+}
+
+// TestE11RejectsMalformedKnobs pins the knob validation.
+func TestE11RejectsMalformedKnobs(t *testing.T) {
+	for name, knobs := range map[string]map[string]string{
+		"read share over 100": {"read_pcts": "101"},
+		"zero batch":          {"batches": "0"},
+		"n below quorum":      {"n": "3"},
+		"conns > users":       {"users": "2", "conns": "4"},
+		"zero timeout":        {"read_timeout_us": "0"},
+		"unknown knob":        {"warp": "9"},
+	} {
+		rc := tinyE11Context()
+		for k, v := range knobs {
+			rc.Knobs[k] = v
+		}
+		if _, err := Run("E11", rc); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

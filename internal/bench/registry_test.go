@@ -8,10 +8,10 @@ import (
 	"rubin/internal/metrics"
 )
 
-// TestRegistryComplete asserts the suite registers E1–E10 with full
+// TestRegistryComplete asserts the suite registers E1–E11 with full
 // metadata, in numeric order.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -60,6 +60,8 @@ var tinyKnobs = map[string]map[string]string{
 	"E8": {"ns": "4", "ks": "1,2", "payloads_kb": "1", "requests": "20", "warmup": "5"},
 	"E9": {"rates": "900", "skews": "99", "read_pcts": "50", "ks": "1",
 		"users": "8", "conns": "2", "keys": "16", "ops": "30", "warmup": "5"},
+	"E11": {"read_pcts": "80", "batches": "4",
+		"users": "8", "conns": "2", "keys": "16", "ops": "40", "warmup": "5"},
 }
 
 // TestExperimentJSONRoundTripAndDeterminism runs every registered

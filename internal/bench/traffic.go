@@ -36,6 +36,15 @@ type TrafficConfig struct {
 	Zipf100   int // Zipf theta ×100 over the keyspace; 0 = uniform
 	Arrival   workload.Arrival
 	Seed      int64
+	// BatchSize, when positive, overrides the protocol's default
+	// agreement batch size (E11 sweeps it; zero keeps the default).
+	BatchSize int
+	// ReadFastPath enables the PBFT read-only optimization: single-key
+	// reads are multicast and accepted on 2F+1 matching tentative
+	// replies, falling back to the ordered path after ReadTimeout
+	// (default 2ms). Off by default — E9 points are unaffected.
+	ReadFastPath bool
+	ReadTimeout  sim.Time
 	// Trace, when non-nil, records spans and samples into the shared
 	// -trace tracer; nil still aggregates the latency breakdown.
 	Trace *obs.Tracer
@@ -60,6 +69,15 @@ type TrafficResult struct {
 	HeartbeatSlots    uint64
 	HeartbeatDelayMax sim.Time
 	PeakBacklog       int
+	// Read fast-path counters summed across client connections (zero
+	// unless ReadFastPath is set): reads served by 2F+1 matching
+	// tentative replies, and reads that timed out or mismatched and
+	// retried through the ordered path.
+	FastReads     uint64
+	FastFallbacks uint64
+	// FastOps is the number of history operations the oracle saw tagged
+	// as fast-path-served; the checkers treat them identically.
+	FastOps int
 }
 
 // RunTraffic drives one workload configuration to completion, verifies
@@ -85,13 +103,22 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 	tr := benchTracer(cfg.Trace, fmt.Sprintf("E9 %s %s N=%d users=%d conns=%d seed=%d",
 		sysLabel, cfg.Kind, cfg.N, cfg.Users, cfg.Conns, cfg.Seed))
 
+	readTimeout := cfg.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 2 * sim.Millisecond
+	}
+
 	var loop *sim.Loop
 	var invoke workload.Invoker
 	var finish func() error
 	var health func(r *TrafficResult)
+	var wireHooks func(d *workload.Driver)
 	if cfg.Instances == 0 {
 		pcfg := pbft.DefaultConfig()
 		pcfg.N, pcfg.F = cfg.N, cfg.F
+		if cfg.BatchSize > 0 {
+			pcfg.BatchSize = cfg.BatchSize
+		}
 		cluster, err := pbft.NewCluster(cfg.Kind, pcfg, params, cfg.Seed,
 			func(int) pbft.Application { return kvstore.New() })
 		if err != nil {
@@ -109,11 +136,30 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		}
 		loop = cluster.Loop
 		startSamplers(tr, loop, cluster.Meshes, nil)
+		if cfg.ReadFastPath {
+			for _, cl := range cls {
+				cl.EnableReadFastPath(cluster.Loop, readTimeout)
+			}
+		}
 		invoke = func(conn int, op []byte, done func([]byte)) string {
+			if cfg.ReadFastPath {
+				if code, _, _, err := kvstore.DecodeOp(op); err == nil && code == kvstore.OpGet {
+					return cls[conn].InvokeRead(op, done)
+				}
+			}
 			return cls[conn].Invoke(op, done)
+		}
+		wireHooks = func(d *workload.Driver) {
+			for _, cl := range cls {
+				cl.SetReadPathHook(d.NotePath)
+			}
 		}
 		health = func(r *TrafficResult) {
 			r.PeakQueueBytes = cluster.PeakQueueBytes()
+			for _, cl := range cls {
+				r.FastReads += cl.FastReads()
+				r.FastFallbacks += cl.FastReadFallbacks()
+			}
 		}
 		finish = func() error {
 			if n := cluster.SendFaults(); n != 0 {
@@ -130,6 +176,9 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		gcfg := reptor.DefaultConfig()
 		gcfg.Instances = cfg.Instances
 		gcfg.PBFT.N, gcfg.PBFT.F = cfg.N, cfg.F
+		if cfg.BatchSize > 0 {
+			gcfg.PBFT.BatchSize = cfg.BatchSize
+		}
 		group, err := reptor.NewGroup(cfg.Kind, gcfg, params, cfg.Seed,
 			func(int) pbft.Application { return kvstore.New() })
 		if err != nil {
@@ -139,6 +188,9 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 			return TrafficResult{}, err
 		}
 		group.SetTracer(tr)
+		if cfg.ReadFastPath {
+			group.EnableReadFastPath(readTimeout)
+		}
 		cls := make([]*reptor.Client, cfg.Conns)
 		for i := range cls {
 			if cls[i], err = group.AddClient(); err != nil {
@@ -153,8 +205,17 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		invoke = func(conn int, op []byte, done func([]byte)) string {
 			return cls[conn].InvokeOp(op, done)
 		}
+		wireHooks = func(d *workload.Driver) {
+			for _, cl := range cls {
+				cl.SetReadPathHook(d.NotePath)
+			}
+		}
 		health = func(r *TrafficResult) {
 			r.PeakQueueBytes = group.PeakQueueBytes()
+			for _, cl := range cls {
+				r.FastReads += cl.FastReads()
+				r.FastFallbacks += cl.FastReadFallbacks()
+			}
 			for _, ex := range group.Executors {
 				r.HeartbeatSlots += ex.HeartbeatSlots()
 				if pb := ex.PeakBacklog(); pb > r.PeakBacklog {
@@ -190,6 +251,9 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		return TrafficResult{}, err
 	}
 	d.SetTracer(tr)
+	if cfg.ReadFastPath {
+		wireHooks(d)
+	}
 	if err := d.Run(); err != nil {
 		return TrafficResult{}, err
 	}
@@ -207,6 +271,7 @@ func RunTraffic(cfg TrafficConfig, params model.Params) (TrafficResult, error) {
 		Goodput:    d.Goodput(),
 		Completed:  d.Completed(),
 		HistoryOps: d.History().Len(),
+		FastOps:    d.History().FastOps(),
 		Breakdown:  tr.Summary(),
 	}
 	health(&r)

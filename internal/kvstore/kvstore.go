@@ -156,6 +156,59 @@ func (s *Store) Execute(op []byte) []byte {
 	}
 }
 
+// OpReadOnly reports whether an encoded operation is side-effect-free:
+// executing it leaves the store byte-identical. Only such operations are
+// eligible for the agreement-bypassing read fast path; malformed
+// encodings are conservatively not read-only (the ordered path will
+// surface the decode error).
+func OpReadOnly(op []byte) bool {
+	code, _, _, err := DecodeOp(op)
+	if err != nil {
+		return false
+	}
+	switch code {
+	case OpGet, OpScan, OpScanPart:
+		return true
+	default:
+		return false
+	}
+}
+
+// ExecuteReadOnly evaluates a side-effect-free operation against the
+// current state without mutating anything — unlike Execute it leaves the
+// applied counter and the marshaled-state cache untouched, so tentative
+// reads served at different times on different replicas cannot diverge
+// their checkpoint digests. Results are byte-identical to what Execute
+// would return for the same operation and state (pbft.TentativeReader).
+func (s *Store) ExecuteReadOnly(op []byte) []byte {
+	code, key, value, err := DecodeOp(op)
+	if err != nil {
+		return []byte("ERR " + err.Error())
+	}
+	switch code {
+	case OpGet:
+		v, ok := s.data[key]
+		if !ok {
+			return []byte("NOTFOUND")
+		}
+		return []byte(v)
+	case OpScan:
+		limit := 0
+		if value != "" {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return []byte("ERR bad scan limit " + value)
+			}
+			limit = n
+		}
+		return []byte(s.Scan(key, limit))
+	case OpScanPart:
+		return s.executeScanPart(key, value)
+	default:
+		return []byte("ERR not read-only")
+	}
+}
+
 // Scan returns up to limit key=value pairs whose keys start with prefix,
 // in sorted key order, joined by newlines (limit <= 0 means no cap). An
 // empty result is the empty string.

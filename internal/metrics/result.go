@@ -48,6 +48,10 @@ const (
 	MetricPeakBacklog    = "peak_backlog"     // unit: count (executor merge backlog)
 	MetricLeaderCPU      = "leader_cpu"       // unit: utilization (busiest node CPU)
 
+	// Read-only fast-path metrics exported by E11 (pbft.Client).
+	MetricFastReads     = "fast_reads"     // unit: count (reads served by the fast path)
+	MetricFastFallbacks = "fast_fallbacks" // unit: count (fast reads retried through ordering)
+
 	// Sharding metrics exported by E10 (internal/shard).
 	MetricCommittedGoodput = "committed_goodput" // unit: op/s (goodput minus aborted txns)
 	MetricAbortedTxns      = "aborted_txns"      // unit: count (no-wait 2PC conflicts)

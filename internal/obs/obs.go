@@ -77,6 +77,7 @@ const (
 	hasPropose
 	hasCommit
 	hasReturn
+	hasReadServe
 )
 
 // reqMarks holds the in-flight milestones of one request. Marks are
@@ -84,6 +85,7 @@ const (
 // the first call (e.g. the first replica to commit) is the earliest.
 type reqMarks struct {
 	arrive, invoke, leaderRecv, propose, commit, ret sim.Time
+	readServe                                        sim.Time
 	set                                              uint8
 }
 
@@ -98,6 +100,7 @@ type Tracer struct {
 	queue, order, net, merge, exec, total *metrics.Recorder
 	mergeWait                             *metrics.Recorder
 	prepareWait, commitWait               *metrics.Recorder
+	readServed                            int
 
 	runs    []string
 	spans   *ring[Span]
@@ -155,6 +158,7 @@ func (t *Tracer) BeginRun(label string) {
 	t.mergeWait.Reset()
 	t.prepareWait.Reset()
 	t.commitWait.Reset()
+	t.readServed = 0
 }
 
 // run returns the current 1-based run index.
@@ -228,6 +232,23 @@ func (t *Tracer) MarkCommit(key string, at sim.Time) {
 	}
 }
 
+// MarkReadServe records the earliest replica answering a fast-path read
+// tentatively (no agreement round; first-wins keeps the earliest). It
+// slots between propose and commit in the milestone order: for a
+// fast-path read neither leader-recv, propose nor commit ever fire, so
+// the clamped partition attributes the whole server-side interval to net
+// plus this serve point — and the sum stays exact because the phases are
+// still the gaps between monotone milestones.
+func (t *Tracer) MarkReadServe(key string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	m := t.marksFor(key)
+	if m.set&hasReadServe == 0 {
+		m.readServe, m.set = at, m.set|hasReadServe
+	}
+}
+
 // MarkReturn records the client accepting its F+1 reply quorum.
 func (t *Tracer) MarkReturn(key string, at sim.Time) {
 	if t == nil {
@@ -275,7 +296,8 @@ func (t *Tracer) Finish(key string, measured bool) {
 	i := clampMark(m.invoke, m.set&hasInvoke != 0, a)
 	s := clampMark(m.leaderRecv, m.set&hasLeaderRecv != 0, i)
 	p := clampMark(m.propose, m.set&hasPropose != 0, s)
-	c := clampMark(m.commit, m.set&hasCommit != 0, p)
+	rs := clampMark(m.readServe, m.set&hasReadServe != 0, p)
+	c := clampMark(m.commit, m.set&hasCommit != 0, rs)
 	x := c // exec completes at the commit instant; see Summary.Exec
 	r := clampMark(m.ret, m.set&hasReturn != 0, x)
 	if measured {
@@ -285,6 +307,9 @@ func (t *Tracer) Finish(key string, measured bool) {
 		t.merge.Record(0) // COP's merge barrier is off the reply path
 		t.exec.Record(x - c)
 		t.total.Record(r - a)
+		if m.set&hasReadServe != 0 {
+			t.readServed++
+		}
 	}
 	if !t.spansOn {
 		return
@@ -295,7 +320,8 @@ func (t *Tracer) Finish(key string, measured bool) {
 		{Layer: "client", Name: "queue", Start: a, End: i},
 		{Layer: "msgnet", Name: "req-net", Start: i, End: s},
 		{Layer: "pbft", Name: "order", Start: s, End: p},
-		{Layer: "pbft", Name: "agree", Start: p, End: c},
+		{Layer: "pbft", Name: "read-serve", Start: p, End: rs},
+		{Layer: "pbft", Name: "agree", Start: rs, End: c},
 		{Layer: "msgnet", Name: "reply-net", Start: x, End: r},
 	}
 	for _, sp := range sub {
@@ -374,6 +400,10 @@ type Summary struct {
 	// vote quorum, and decision broadcast to applied acknowledgment.
 	PrepareWait, CommitWait sim.Time
 	TxnCount                int
+	// FastCount is how many measured requests carried a read-serve
+	// milestone — i.e. were answered by the agreement-bypassing read
+	// fast path rather than the ordered pipeline.
+	FastCount int
 }
 
 // Summary returns the breakdown means of the current run.
@@ -390,6 +420,7 @@ func (t *Tracer) Summary() Summary {
 		PrepareWait: t.prepareWait.Mean(),
 		CommitWait:  t.commitWait.Mean(),
 		TxnCount:    t.prepareWait.Count(),
+		FastCount:   t.readServed,
 	}
 }
 

@@ -5,11 +5,30 @@ import (
 	"sort"
 
 	"rubin/internal/msgnet"
+	"rubin/internal/sim"
 )
 
 // Client invokes operations against a replica group and accepts a result
 // once F+1 matching replies arrive (at least one is from a correct
 // replica).
+//
+// With the read-only fast path enabled (EnableReadFastPath), side-effect-
+// free operations can instead be multicast as ReadRequests: every replica
+// executes them tentatively against its last-executed state, and the
+// client accepts a result once 2F+1 replicas report identical bytes —
+// the stronger quorum reads require, because a tentative result carries
+// no agreement certificate (Castro & Liskov §4.4). A read that cannot
+// gather a matching 2F+1 quorum (split replies, or a timeout while
+// replicas lag or change views) falls back to the ordered path,
+// preserving liveness; the fallback count is surfaced for metrics.
+//
+// Safety note: under crash faults the 2F+1 value-match is linearizable —
+// a completed write has executed at F+1 or more replicas, leaving at most
+// 2F stale ones, which is short of a read quorum. A Byzantine replica
+// could in principle echo a value it never executed; that hazard is
+// exactly what the workload linearizability oracle exists to catch, and
+// the adversarial self-test in this package proves the oracle rejects
+// histories produced by stale-serving replicas.
 type Client struct {
 	id    uint32
 	f     int
@@ -18,9 +37,18 @@ type Client struct {
 
 	pending map[uint64]*invocation
 
+	// Read-only fast path (disabled until EnableReadFastPath).
+	fastReadsOn bool
+	loop        *sim.Loop
+	readTimeout sim.Time
+	reads       map[uint64]*readInvocation
+	onReadPath  func(key string, fast bool)
+
 	// Stats.
 	invoked, completed uint64
 	sendErrs           uint64
+	fastReads          uint64
+	fastFallbacks      uint64
 }
 
 type invocation struct {
@@ -30,10 +58,30 @@ type invocation struct {
 	fired   bool
 }
 
+type readReplyVote struct {
+	result   []byte
+	executed uint64
+}
+
+type readInvocation struct {
+	op      []byte
+	key     string
+	replies map[uint32]readReplyVote // replica -> first vote (equivocation-proof)
+	done    func(result []byte)
+	timer   *sim.Timer
+	fired   bool
+}
+
 // NewClient creates a client. Attach replica connections with
 // AttachReplica before invoking.
 func NewClient(id uint32, f int) *Client {
-	return &Client{id: id, f: f, conns: make(map[uint32]*msgnet.Peer), pending: make(map[uint64]*invocation)}
+	return &Client{
+		id:      id,
+		f:       f,
+		conns:   make(map[uint32]*msgnet.Peer),
+		pending: make(map[uint64]*invocation),
+		reads:   make(map[uint64]*readInvocation),
+	}
 }
 
 // ID returns the client identifier.
@@ -42,14 +90,36 @@ func (c *Client) ID() uint32 { return c.id }
 // Completed returns the number of finished invocations.
 func (c *Client) Completed() uint64 { return c.completed }
 
-// Outstanding returns the invocations still waiting for their F+1
-// matching replies — zero once a workload has fully drained.
-func (c *Client) Outstanding() int { return len(c.pending) }
+// Outstanding returns the invocations still waiting for their reply
+// quorum — zero once a workload has fully drained.
+func (c *Client) Outstanding() int { return len(c.pending) + len(c.reads) }
 
 // SendErrors returns the surfaced request-send failures. A client
 // tolerates up to F failed sends per invocation (the quorum absorbs
 // them), but the failures are still counted, never discarded.
 func (c *Client) SendErrors() uint64 { return c.sendErrs }
+
+// EnableReadFastPath turns on the read-only optimization: InvokeRead
+// multicasts reads instead of ordering them, falling back to the ordered
+// path if a matching 2F+1 quorum has not formed after timeout. The loop
+// drives the fallback timer.
+func (c *Client) EnableReadFastPath(loop *sim.Loop, timeout sim.Time) {
+	c.fastReadsOn = true
+	c.loop = loop
+	c.readTimeout = timeout
+}
+
+// SetReadPathHook registers a callback fired when a fast-path-eligible
+// invocation completes, reporting the request key it was traced under and
+// whether the fast path served it (false means it fell back to ordering).
+func (c *Client) SetReadPathHook(fn func(key string, fast bool)) { c.onReadPath = fn }
+
+// FastReads returns the number of reads served by the fast path.
+func (c *Client) FastReads() uint64 { return c.fastReads }
+
+// FastReadFallbacks returns the number of reads that failed to gather a
+// matching 2F+1 quorum and were resubmitted through the ordered path.
+func (c *Client) FastReadFallbacks() uint64 { return c.fastFallbacks }
 
 // AttachReplica wires the msgnet peer to one replica and consumes
 // replies.
@@ -61,11 +131,18 @@ func (c *Client) AttachReplica(id uint32, p *msgnet.Peer) {
 		if err != nil {
 			return
 		}
-		rep, ok := msg.(Reply)
-		if !ok || rep.Client != c.id {
-			return
+		switch rep := msg.(type) {
+		case Reply:
+			if rep.Client != c.id {
+				return
+			}
+			c.handleReply(rep)
+		case ReadReply:
+			if rep.Client != c.id {
+				return
+			}
+			c.handleReadReply(rep)
 		}
-		c.handleReply(rep)
 	})
 }
 
@@ -80,19 +157,48 @@ func (c *Client) Invoke(op []byte, done func(result []byte)) string {
 	c.pending[ts] = &invocation{op: op, replies: make(map[uint32][]byte), done: done}
 	c.invoked++
 	req := Request{Client: c.id, Timestamp: ts, Op: op}
-	raw := Encode(req)
-	// Deterministic send order keeps simulations reproducible.
+	c.broadcast(Encode(req))
+	return req.Key()
+}
+
+// InvokeRead submits a side-effect-free operation. With the fast path
+// enabled it is multicast as a ReadRequest and accepted on 2F+1 matching
+// tentative replies; otherwise (or on fallback) it travels the ordered
+// path like any other operation. The returned key is stable across a
+// fallback, so callers trace the invocation under one id either way.
+func (c *Client) InvokeRead(op []byte, done func(result []byte)) string {
+	if !c.fastReadsOn {
+		return c.Invoke(op, done)
+	}
+	c.next++
+	ts := c.next
+	req := ReadRequest{Client: c.id, Timestamp: ts, Op: op}
+	inv := &readInvocation{op: op, key: req.Key(), replies: make(map[uint32]readReplyVote), done: done}
+	c.reads[ts] = inv
+	c.invoked++
+	inv.timer = c.loop.After(c.readTimeout, func() { c.fallbackRead(ts) })
+	c.broadcast(Encode(req))
+	return inv.key
+}
+
+// broadcast sends one encoded client message to every attached replica in
+// deterministic id order (keeps simulations reproducible).
+func (c *Client) broadcast(raw []byte) {
 	ids := make([]int, 0, len(c.conns))
 	for id := range c.conns {
 		ids = append(ids, int(id))
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		if err := c.conns[uint32(id)].Send(msgnet.ClassControl, raw); err != nil {
+		p := c.conns[uint32(id)]
+		if p == nil {
+			c.sendErrs++
+			continue
+		}
+		if err := p.Send(msgnet.ClassControl, raw); err != nil {
 			c.sendErrs++
 		}
 	}
-	return req.Key()
 }
 
 func (c *Client) handleReply(rep Reply) {
@@ -116,4 +222,73 @@ func (c *Client) handleReply(rep Reply) {
 			inv.done(rep.Result)
 		}
 	}
+}
+
+func (c *Client) handleReadReply(rep ReadReply) {
+	inv := c.reads[rep.Timestamp]
+	if inv == nil || inv.fired {
+		return
+	}
+	// First vote per replica wins: an equivocating replica cannot
+	// contribute twice to a quorum, whatever tags it claims.
+	if _, dup := inv.replies[rep.Replica]; dup {
+		return
+	}
+	inv.replies[rep.Replica] = readReplyVote{result: rep.Result, executed: rep.Executed}
+	// Accept when 2F+1 replicas report byte-identical results. Matching
+	// on the value (not the state tag) keeps the fast path live while
+	// replicas execute at slightly different positions; the tag is
+	// carried for diagnostics.
+	count := 0
+	for _, v := range inv.replies {
+		if bytes.Equal(v.result, rep.Result) {
+			count++
+		}
+	}
+	if count >= 2*c.f+1 {
+		inv.fired = true
+		inv.timer.Cancel()
+		delete(c.reads, rep.Timestamp)
+		c.fastReads++
+		c.completed++
+		if c.onReadPath != nil {
+			c.onReadPath(inv.key, true)
+		}
+		if inv.done != nil {
+			inv.done(rep.Result)
+		}
+		return
+	}
+	// Every attached replica has voted and no value reached 2F+1: no
+	// quorum can form anymore. Fall back now instead of burning the
+	// remaining timeout.
+	if len(inv.replies) >= len(c.conns) {
+		c.fallbackRead(rep.Timestamp)
+	}
+}
+
+// fallbackRead abandons the tentative read and resubmits the operation
+// through the ordered path. The invocation keeps its original trace key;
+// the ordered retry completes under its own request id.
+func (c *Client) fallbackRead(ts uint64) {
+	inv := c.reads[ts]
+	if inv == nil || inv.fired {
+		return
+	}
+	inv.fired = true
+	inv.timer.Cancel()
+	delete(c.reads, ts)
+	c.fastFallbacks++
+	key, done := inv.key, inv.done
+	// Invoke counts its own invocation and completion; cancel out the
+	// double-count so stats reflect one logical operation.
+	c.invoked--
+	c.Invoke(inv.op, func(result []byte) {
+		if c.onReadPath != nil {
+			c.onReadPath(key, false)
+		}
+		if done != nil {
+			done(result)
+		}
+	})
 }

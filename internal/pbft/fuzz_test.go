@@ -26,6 +26,8 @@ func fuzzSeedMessages() [][]byte {
 		NewView{View: 2, PrePrepares: []PrePrepare{{View: 2, Seq: 65, Digest: d, Batch: batch}}},
 		StateRequest{Seq: 12, Replica: 1},
 		StateResponse{Seq: 64, View: 2, Digest: d, State: []byte("state"), Replica: 1},
+		ReadRequest{Client: 1, Timestamp: 2, Op: []byte("get/k")},
+		ReadReply{Timestamp: 2, Client: 1, Replica: 3, Executed: 17, Result: []byte("v")},
 	}
 	out := make([][]byte, len(msgs))
 	for i, m := range msgs {
@@ -54,6 +56,53 @@ func FuzzDecode(f *testing.F) {
 		}
 		if re := Encode(m); !bytes.Equal(re, data) {
 			t.Fatalf("non-canonical accept: %x decodes to %T but re-encodes to %x", data, m, re)
+		}
+	})
+}
+
+// FuzzDecodeReadRequest focuses the codec fuzzer on the read fast-path
+// request arm: every input is forced onto the ReadRequest type tag, so
+// the fuzzer explores that decoder's length and bounds handling instead
+// of spreading over all message types. Accepted inputs must decode to a
+// ReadRequest and re-encode byte-identically (in particular, trailing
+// bytes must be rejected, never silently dropped).
+func FuzzDecodeReadRequest(f *testing.F) {
+	f.Add(Encode(ReadRequest{Client: 1, Timestamp: 2, Op: []byte("get/k")})[1:])
+	f.Add(Encode(ReadRequest{Client: 0, Timestamp: 0, Op: nil})[1:])
+	f.Add(append(Encode(ReadRequest{Client: 9, Timestamp: 9, Op: []byte("x")})[1:], 0)) // trailing byte
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		data := append([]byte{byte(MsgReadRequest)}, body...)
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, ok := m.(ReadRequest); !ok {
+			t.Fatalf("read-request tag decoded to %T", m)
+		}
+		if re := Encode(m); !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical accept: %x re-encodes to %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeReadReply does the same for the tentative-reply arm.
+func FuzzDecodeReadReply(f *testing.F) {
+	f.Add(Encode(ReadReply{Timestamp: 2, Client: 1, Replica: 3, Executed: 17, Result: []byte("v")})[1:])
+	f.Add(Encode(ReadReply{})[1:])
+	f.Add(append(Encode(ReadReply{Timestamp: 1, Client: 1, Replica: 1, Result: []byte("r")})[1:], 0))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		data := append([]byte{byte(MsgReadReply)}, body...)
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, ok := m.(ReadReply); !ok {
+			t.Fatalf("read-reply tag decoded to %T", m)
+		}
+		if re := Encode(m); !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical accept: %x re-encodes to %x", data, re)
 		}
 	})
 }

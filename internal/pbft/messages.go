@@ -33,6 +33,8 @@ const (
 	MsgNewView
 	MsgStateRequest
 	MsgStateResponse
+	MsgReadRequest
+	MsgReadReply
 )
 
 func (t MsgType) String() string {
@@ -57,6 +59,10 @@ func (t MsgType) String() string {
 		return "STATE-REQUEST"
 	case MsgStateResponse:
 		return "STATE-RESPONSE"
+	case MsgReadRequest:
+		return "READ-REQUEST"
+	case MsgReadReply:
+		return "READ-REPLY"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -165,6 +171,34 @@ type StateResponse struct {
 	Replica uint32
 }
 
+// ReadRequest asks every replica to execute a side-effect-free operation
+// tentatively against its last-executed state, bypassing agreement
+// (Castro & Liskov §4.4, the read-only optimization). It shares the
+// client's timestamp counter with ordered Requests, so a read that falls
+// back to the ordered path keeps a unique timestamp.
+type ReadRequest struct {
+	Client    uint32
+	Timestamp uint64
+	Op        []byte
+}
+
+// Key identifies a read for timer bookkeeping and tracing, in the same
+// namespace as Request keys (timestamps are shared, so keys are unique).
+func (r ReadRequest) Key() string { return fmt.Sprintf("%d/%d", r.Client, r.Timestamp) }
+
+// ReadReply carries a tentative read result. Executed is the replica's
+// last-executed sequence number — the state position the read was served
+// from. The client accepts a result once 2F+1 replicas report the same
+// bytes; the tag is evidence for diagnosing stale replies, not part of
+// the matching rule.
+type ReadReply struct {
+	Timestamp uint64
+	Client    uint32
+	Replica   uint32
+	Executed  uint64
+	Result    []byte
+}
+
 // ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------
@@ -182,6 +216,8 @@ func (ViewChange) msgType() MsgType    { return MsgViewChange }
 func (NewView) msgType() MsgType       { return MsgNewView }
 func (StateRequest) msgType() MsgType  { return MsgStateRequest }
 func (StateResponse) msgType() MsgType { return MsgStateResponse }
+func (ReadRequest) msgType() MsgType   { return MsgReadRequest }
+func (ReadReply) msgType() MsgType     { return MsgReadReply }
 
 type encoder struct{ buf []byte }
 
@@ -347,6 +383,16 @@ func Encode(m Message) []byte {
 		e.digest(v.Digest)
 		e.bytes(v.State)
 		e.u32(v.Replica)
+	case ReadRequest:
+		e.u32(v.Client)
+		e.u64(v.Timestamp)
+		e.bytes(v.Op)
+	case ReadReply:
+		e.u64(v.Timestamp)
+		e.u32(v.Client)
+		e.u32(v.Replica)
+		e.u64(v.Executed)
+		e.bytes(v.Result)
 	default:
 		panic(fmt.Sprintf("pbft: cannot encode %T", m))
 	}
@@ -402,6 +448,10 @@ func Decode(raw []byte) (Message, error) {
 		m = StateRequest{Seq: d.u64(), Replica: d.u32()}
 	case MsgStateResponse:
 		m = StateResponse{Seq: d.u64(), View: d.u64(), Digest: d.digest(), State: d.bytes(), Replica: d.u32()}
+	case MsgReadRequest:
+		m = ReadRequest{Client: d.u32(), Timestamp: d.u64(), Op: d.bytes()}
+	case MsgReadReply:
+		m = ReadReply{Timestamp: d.u64(), Client: d.u32(), Replica: d.u32(), Executed: d.u64(), Result: d.bytes()}
 	default:
 		return nil, fmt.Errorf("pbft: unknown message type %d", t)
 	}

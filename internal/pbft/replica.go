@@ -36,6 +36,21 @@ type StateTransferable interface {
 	UnmarshalState(state []byte) error
 }
 
+// TentativeReader is the optional application interface enabling the
+// read-only fast path (Castro & Liskov §4.4): applications that can
+// evaluate side-effect-free operations without mutating state let a
+// replica answer ReadRequests tentatively from its last-executed state,
+// bypassing agreement. ExecuteReadOnly must return exactly what Execute
+// would return for the same operation and state, and must leave the
+// state — including any snapshot digest — byte-identical: replicas serve
+// tentative reads at different times, and a read that perturbed state
+// would diverge their checkpoints. Applications without this interface
+// simply never answer ReadRequests; clients fall back to the ordered
+// path on timeout.
+type TentativeReader interface {
+	ExecuteReadOnly(op []byte) []byte
+}
+
 // Config tunes a replica group.
 type Config struct {
 	// N is the group size; F the tolerated faults. N must be >= 3F+1.
@@ -175,6 +190,7 @@ type Replica struct {
 	// Stats and hooks.
 	committedCount    uint64
 	execBatches       uint64
+	readsServed       uint64
 	onExecute         func(seq uint64, batch []Request)
 	onViewChange      func(newView uint64)
 	onCheckpointAdopt func(seq uint64)
@@ -304,12 +320,14 @@ func (r *Replica) HandleClientConn(p *msgnet.Peer) {
 		if err != nil {
 			return
 		}
-		req, ok := msg.(Request)
-		if !ok {
-			return
+		switch req := msg.(type) {
+		case Request:
+			r.clientConns[req.Client] = p
+			r.handleRequest(req)
+		case ReadRequest:
+			r.clientConns[req.Client] = p
+			r.handleReadRequest(req)
 		}
-		r.clientConns[req.Client] = p
-		r.handleRequest(req)
 	})
 }
 
@@ -817,7 +835,45 @@ func (r *Replica) tryExecute() {
 	}
 }
 
+// handleReadRequest serves the read-only fast path: evaluate the
+// operation tentatively against the last-executed state and report the
+// result tagged with the state position it was read from. No agreement
+// messages are exchanged — the client is responsible for only accepting
+// a result 2F+1 replicas agree on. Applications without TentativeReader
+// support never answer; the client's timeout falls the read back to the
+// ordered path.
+func (r *Replica) handleReadRequest(req ReadRequest) {
+	if r.stopped || r.faults.Crashed {
+		return
+	}
+	tr, ok := r.app.(TentativeReader)
+	if !ok {
+		return
+	}
+	proto := r.node.Network().Params().Protocol
+	r.node.CPU.Delay(proto.ExecRequest)
+	result := tr.ExecuteReadOnly(req.Op)
+	r.readsServed++
+	if r.tracer != nil {
+		r.tracer.MarkReadServe(req.Key(), r.node.Loop().Now())
+	}
+	r.sendToClient(req.Client, Encode(ReadReply{
+		Timestamp: req.Timestamp, Client: req.Client, Replica: r.id,
+		Executed: r.executed, Result: result,
+	}))
+}
+
+// ReadsServed returns the number of tentative reads this replica answered.
+func (r *Replica) ReadsServed() uint64 { return r.readsServed }
+
 func (r *Replica) reply(client uint32, rep Reply) {
+	r.sendToClient(client, Encode(rep))
+}
+
+// sendToClient transmits one encoded reply payload to a client
+// connection (plain payload — client traffic is unauthenticated; the
+// client's reply quorum provides the integrity).
+func (r *Replica) sendToClient(client uint32, payload []byte) {
 	if r.stopped || r.faults.Crashed {
 		return
 	}
@@ -825,7 +881,6 @@ func (r *Replica) reply(client uint32, rep Reply) {
 	if peer == nil {
 		return
 	}
-	payload := Encode(rep)
 	p := r.node.Network().Params().Crypto
 	r.crypto(auth.Cost(p, len(payload)))
 	r.deferSend(func() {

@@ -52,6 +52,9 @@ func (g *Group) AddClient() (*Client, error) {
 	dials, want := 0, 0
 	for k := 0; k < g.Config.Instances; k++ {
 		sub := pbft.NewClient(subClientID(id, k), g.Config.PBFT.F)
+		if g.readFastPath > 0 {
+			sub.EnableReadFastPath(g.Loop, g.readFastPath)
+		}
 		cl.sub = append(cl.sub, sub)
 		for i := 0; i < n; i++ {
 			want++
@@ -131,7 +134,41 @@ func (c *Client) InvokeOp(op []byte, done func([]byte)) string {
 			return ""
 		}
 	}
+	// Single-key reads ride the fast path of the owning instance (a
+	// no-op routing to the ordered path while the fast path is off).
+	// Scans and transactions stay ordered: their consistency spans more
+	// than one key.
+	if code == kvstore.OpGet {
+		return c.sub[k].InvokeRead(op, done)
+	}
 	return c.sub[k].Invoke(op, done)
+}
+
+// SetReadPathHook propagates a path-taken callback to every sub-client:
+// it fires per completed fast-path-eligible operation with the trace key
+// and whether the fast path served it (see pbft.Client.SetReadPathHook).
+func (c *Client) SetReadPathHook(fn func(key string, fast bool)) {
+	for _, s := range c.sub {
+		s.SetReadPathHook(fn)
+	}
+}
+
+// FastReads returns fast-path-served reads across sub-clients.
+func (c *Client) FastReads() uint64 {
+	var total uint64
+	for _, s := range c.sub {
+		total += s.FastReads()
+	}
+	return total
+}
+
+// FastReadFallbacks returns ordered-path fallbacks across sub-clients.
+func (c *Client) FastReadFallbacks() uint64 {
+	var total uint64
+	for _, s := range c.sub {
+		total += s.FastReadFallbacks()
+	}
+	return total
 }
 
 // scatterScan fans a scan out as one OpScanPart per instance and merges

@@ -64,7 +64,11 @@ func (d *Deployment) AddRouter() (*Router, error) {
 	var dialErr error
 	dials, want := 0, 0
 	for s := 0; s < d.Config.Shards; s++ {
-		r.sub = append(r.sub, pbft.NewClient(routerClientID(ridx, s), d.Config.PBFT.F))
+		sub := pbft.NewClient(routerClientID(ridx, s), d.Config.PBFT.F)
+		if d.readFastPath > 0 {
+			sub.EnableReadFastPath(d.Loop, d.readFastPath)
+		}
+		r.sub = append(r.sub, sub)
 		for i := 0; i < n; i++ {
 			want++
 			s, i := s, i
@@ -132,7 +136,42 @@ func (r *Router) InvokeOp(op []byte, done func([]byte)) string {
 			}
 		}
 	}
+	// Single-key reads ride the owning shard's fast path (a no-op
+	// routing to the ordered path while the fast path is off). A Get
+	// needs no lock-retry loop: reads never observe kvstore.Locked —
+	// staged transaction writes are invisible until their COMMIT
+	// executes, which is exactly what makes the tentative read safe
+	// against in-flight 2PC.
+	if code == kvstore.OpGet {
+		return r.sub[home].InvokeRead(op, finish)
+	}
 	return r.invokeRetry(home, op, finish)
+}
+
+// SetReadPathHook propagates a path-taken callback to every shard's
+// sub-client (see pbft.Client.SetReadPathHook).
+func (r *Router) SetReadPathHook(fn func(key string, fast bool)) {
+	for _, s := range r.sub {
+		s.SetReadPathHook(fn)
+	}
+}
+
+// FastReads returns fast-path-served reads across shards.
+func (r *Router) FastReads() uint64 {
+	var total uint64
+	for _, s := range r.sub {
+		total += s.FastReads()
+	}
+	return total
+}
+
+// FastReadFallbacks returns ordered-path fallbacks across shards.
+func (r *Router) FastReadFallbacks() uint64 {
+	var total uint64
+	for _, s := range r.sub {
+		total += s.FastReadFallbacks()
+	}
+	return total
 }
 
 // invokeRetry submits op to one shard, resubmitting after the

@@ -62,6 +62,12 @@ type Op struct {
 	Return sim.Time
 	// Measured marks operations after the warmup.
 	Measured bool
+	// Fast marks operations served by the read-only fast path (2F+1
+	// matching tentative replies, no agreement round). The correctness
+	// checkers treat fast and ordered operations identically — that is
+	// the point: a fast-path run must pass the same linearizability and
+	// atomicity oracles as an ordered one.
+	Fast bool
 }
 
 // History is the complete record of a workload run, in completion order.
@@ -78,3 +84,15 @@ func (h *History) Len() int { return len(h.ops) }
 // Ops returns the recorded operations in completion order. The slice is
 // shared; treat it as read-only.
 func (h *History) Ops() []Op { return h.ops }
+
+// FastOps returns how many recorded operations were served by the
+// read-only fast path.
+func (h *History) FastOps() int {
+	n := 0
+	for i := range h.ops {
+		if h.ops[i].Fast {
+			n++
+		}
+	}
+	return n
+}

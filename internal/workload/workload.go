@@ -108,6 +108,11 @@ type Driver struct {
 	rec    *metrics.Recorder
 	tracer *obs.Tracer
 
+	// paths holds the fast/ordered verdict per in-flight trace id,
+	// reported by the client stack via NotePath just before the done
+	// callback fires and consumed when the operation completes.
+	paths map[string]bool
+
 	total           int
 	issued          int
 	completed       int
@@ -144,6 +149,7 @@ func New(loop *sim.Loop, cfg Config, invoke Invoker) (*Driver, error) {
 		total:  cfg.Ops + cfg.Warmup,
 		busy:   make([]bool, cfg.Users),
 		queued: make([][]sim.Time, cfg.Users),
+		paths:  make(map[string]bool),
 	}, nil
 }
 
@@ -295,6 +301,12 @@ func (d *Driver) complete(rec Op, traceID string, res []byte) {
 		d.tracer.Finish(traceID, measured)
 	}
 	rec.Return = ret
+	if traceID != "" {
+		if fast, ok := d.paths[traceID]; ok {
+			rec.Fast = fast
+			delete(d.paths, traceID)
+		}
+	}
 	d.normalize(&rec, res)
 	d.hist.Add(rec)
 	d.completed++
@@ -389,6 +401,18 @@ func (d *Driver) normalize(rec *Op, res []byte) {
 			rec.Result = s
 		}
 	}
+}
+
+// NotePath records which path served the operation traced as traceID:
+// fast (accepted on 2F+1 matching tentative replies) or ordered. Client
+// stacks with the read fast path enabled call it immediately before the
+// operation's done callback, so the verdict is in place when complete()
+// records the operation into the history.
+func (d *Driver) NotePath(traceID string, fast bool) {
+	if traceID == "" {
+		return
+	}
+	d.paths[traceID] = fast
 }
 
 // SetTracer attaches an observability tracer: each operation's arrival,

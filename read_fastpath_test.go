@@ -1,0 +1,62 @@
+package rubin_test
+
+import (
+	"math"
+	"testing"
+
+	"rubin/internal/metrics"
+)
+
+// TestReadFastPathCheckedIn pins the headline claim of E11 against the
+// checked-in BENCH_E11.json: the read-share sweep covers both transports
+// with the fast path on and off, and at a 99% read share the read-only
+// optimization lifts goodput at least 1.5x over the fully ordered path
+// on at least one transport. Every fp=on point in that file passed the
+// workload linearizability oracle when it was generated, so the ratio is
+// a safety-checked speedup, not a shortcut. If a change to the client,
+// the replica read path or the batcher erodes the win, the regenerated
+// file fails here instead of silently shipping.
+func TestReadFastPathCheckedIn(t *testing.T) {
+	res, err := metrics.ReadResultFile("BENCH_E11.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "E11" {
+		t.Fatalf("experiment %q, want E11", res.Experiment)
+	}
+	readPcts := []float64{50, 90, 99}
+	bestRatio := 0.0
+	for _, transport := range []string{"RUBIN", "NIO"} {
+		var at99 [2]float64 // fp=on, fp=off
+		for i, fp := range []string{"fp=on", "fp=off"} {
+			name := "mix " + fp + " " + transport
+			s := res.GetSeries(name, metrics.MetricGoodput)
+			if s == nil {
+				t.Fatalf("missing series (%s, %s)", name, metrics.MetricGoodput)
+			}
+			for _, x := range readPcts {
+				if y := s.At(x); math.IsNaN(y) || y <= 0 {
+					t.Fatalf("series %q: no positive point at read_pct=%v", name, x)
+				}
+			}
+			at99[i] = s.At(99)
+		}
+		if ratio := at99[0] / at99[1]; ratio > bestRatio {
+			bestRatio = ratio
+		}
+		// fp=on points must prove they used the fast path: the exported
+		// fast_reads counter is positive at every read share.
+		fr := res.GetSeries("mix fp=on "+transport, metrics.MetricFastReads)
+		if fr == nil {
+			t.Fatalf("missing series (mix fp=on %s, %s)", transport, metrics.MetricFastReads)
+		}
+		for _, x := range readPcts {
+			if y := fr.At(x); math.IsNaN(y) || y <= 0 {
+				t.Fatalf("fp=on %s served no fast reads at read_pct=%v", transport, x)
+			}
+		}
+	}
+	if bestRatio < 1.5 {
+		t.Fatalf("goodput fp=on/fp=off at 99%% reads = %.2fx on the better transport, want >= 1.5x", bestRatio)
+	}
+}
