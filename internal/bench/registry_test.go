@@ -8,10 +8,10 @@ import (
 	"rubin/internal/metrics"
 )
 
-// TestRegistryComplete asserts the suite registers E1–E11 with full
+// TestRegistryComplete asserts the suite registers E1–E12 with full
 // metadata, in numeric order.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -62,6 +62,7 @@ var tinyKnobs = map[string]map[string]string{
 		"users": "8", "conns": "2", "keys": "16", "ops": "30", "warmup": "5"},
 	"E11": {"read_pcts": "80", "batches": "4",
 		"users": "8", "conns": "2", "keys": "16", "ops": "40", "warmup": "5"},
+	"E12": {"prefills": "300"},
 }
 
 // TestExperimentJSONRoundTripAndDeterminism runs every registered

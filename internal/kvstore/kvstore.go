@@ -29,9 +29,14 @@ const (
 	OpScan
 )
 
-// Store is the key/value state machine. It implements pbft.Application.
+// Store is the key/value state machine. It implements pbft.Application
+// and pbft.PartitionedState: keys live in MerkleBuckets hash partitions
+// (see merkle.go) so checkpoints and state transfer work per bucket.
 type Store struct {
-	data map[string]string
+	// buckets holds the key/value data, partitioned by bucketOf. A nil
+	// bucket map is an empty bucket; size is the total key count.
+	buckets [MerkleBuckets]map[string]string
+	size    int
 
 	// 2PC participant state (see txn.go): staged transactions and the
 	// write locks they hold. Both are part of the marshaled state, so
@@ -41,34 +46,102 @@ type Store struct {
 
 	applied uint64
 
-	// marshaled caches the MarshalState encoding between mutations:
-	// checkpoints take both a snapshot digest and the serialized state,
-	// and the shared cache keeps that a single sort-and-encode pass.
-	// Invariant: non-nil only while it matches data/applied exactly;
-	// the slice is never mutated after creation, so callers may retain
-	// it read-only.
+	// Per-bucket encoding caches. bucketEnc[i] is the canonical
+	// encoding of bucket i (nil marks the bucket dirty — a mutation
+	// invalidates only its own bucket, never the others) and
+	// bucketDig[i] its digest, valid whenever bucketEnc[i] is non-nil.
+	// bucketMod[i] is the applied counter at the bucket's last
+	// mutation, which is what CheckpointDelta answers from. Cached
+	// slices are never mutated after creation and never aliased into
+	// other caches: encodeBucket builds a fresh slice, MarshalState
+	// copies bucket encodings into its own buffer, and setBucket copies
+	// the incoming encoding.
+	bucketEnc [MerkleBuckets][]byte
+	bucketDig [MerkleBuckets]auth.Digest
+	bucketMod [MerkleBuckets]uint64
+
+	// preparedEnc caches the staged-2PC section encoding (nil = dirty).
+	preparedEnc []byte
+
+	// marshaled caches the full MarshalState concatenation. Any Execute
+	// invalidates it (the applied counter is part of the encoding), but
+	// rebuilding it only re-encodes dirty buckets.
 	marshaled []byte
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		data:     make(map[string]string),
 		prepared: make(map[string]*preparedTxn),
 		locks:    make(map[string]string),
 	}
 }
 
 // Len returns the number of keys.
-func (s *Store) Len() int { return len(s.data) }
+func (s *Store) Len() int { return s.size }
 
 // Applied returns the number of operations executed.
 func (s *Store) Applied() uint64 { return s.applied }
 
 // Get reads a key directly (local, not ordered — for inspection).
 func (s *Store) Get(key string) (string, bool) {
-	v, ok := s.data[key]
+	v, ok := s.buckets[bucketOf(key)][key]
 	return v, ok
+}
+
+// get reads a key from its bucket.
+func (s *Store) get(key string) (string, bool) {
+	v, ok := s.buckets[bucketOf(key)][key]
+	return v, ok
+}
+
+// put writes a key and dirties its bucket.
+func (s *Store) put(key, value string) {
+	b := bucketOf(key)
+	if s.buckets[b] == nil {
+		s.buckets[b] = make(map[string]string)
+	}
+	if _, ok := s.buckets[b][key]; !ok {
+		s.size++
+	}
+	s.buckets[b][key] = value
+	s.touchBucket(b)
+}
+
+// del removes a key, dirtying its bucket; it reports whether the key
+// existed.
+func (s *Store) del(key string) bool {
+	b := bucketOf(key)
+	if _, ok := s.buckets[b][key]; !ok {
+		return false
+	}
+	delete(s.buckets[b], key)
+	s.size--
+	s.touchBucket(b)
+	return true
+}
+
+// touchBucket marks one bucket dirty at the current applied counter.
+func (s *Store) touchBucket(b int) {
+	s.bucketEnc[b] = nil
+	s.bucketMod[b] = s.applied
+	s.marshaled = nil
+}
+
+// touchPrepared marks the staged-2PC section dirty.
+func (s *Store) touchPrepared() {
+	s.preparedEnc = nil
+	s.marshaled = nil
+}
+
+// forEach visits every key/value pair (bucket by bucket, map order
+// within a bucket — callers needing determinism sort what they collect).
+func (s *Store) forEach(fn func(k, v string)) {
+	for i := range s.buckets {
+		for k, v := range s.buckets[i] {
+			fn(k, v)
+		}
+	}
 }
 
 // EncodeOp serializes an operation for submission through the agreement
@@ -103,6 +176,10 @@ func DecodeOp(op []byte) (code OpCode, key, value string, err error) {
 
 // Execute applies one ordered operation (pbft.Application).
 func (s *Store) Execute(op []byte) []byte {
+	// The applied counter is part of the marshaled state, so the full
+	// concatenation goes stale on every operation — but the per-bucket
+	// encodings do not: only the mutated key's bucket is re-encoded at
+	// the next checkpoint (a read dirties nothing).
 	s.marshaled = nil
 	s.applied++
 	code, key, value, err := DecodeOp(op)
@@ -114,10 +191,10 @@ func (s *Store) Execute(op []byte) []byte {
 		if _, locked := s.locks[key]; locked {
 			return []byte(Locked)
 		}
-		s.data[key] = value
+		s.put(key, value)
 		return []byte("OK")
 	case OpGet:
-		v, ok := s.data[key]
+		v, ok := s.get(key)
 		if !ok {
 			return []byte("NOTFOUND")
 		}
@@ -126,10 +203,9 @@ func (s *Store) Execute(op []byte) []byte {
 		if _, locked := s.locks[key]; locked {
 			return []byte(Locked)
 		}
-		if _, ok := s.data[key]; !ok {
+		if !s.del(key) {
 			return []byte("NOTFOUND")
 		}
-		delete(s.data, key)
 		return []byte("OK")
 	case OpTxn:
 		return s.executeTxn(key, value)
@@ -187,7 +263,7 @@ func (s *Store) ExecuteReadOnly(op []byte) []byte {
 	}
 	switch code {
 	case OpGet:
-		v, ok := s.data[key]
+		v, ok := s.get(key)
 		if !ok {
 			return []byte("NOTFOUND")
 		}
@@ -214,11 +290,11 @@ func (s *Store) ExecuteReadOnly(op []byte) []byte {
 // empty result is the empty string.
 func (s *Store) Scan(prefix string, limit int) string {
 	var keys []string
-	for k := range s.data {
+	s.forEach(func(k, _ string) {
 		if strings.HasPrefix(k, prefix) {
 			keys = append(keys, k)
 		}
-	}
+	})
 	sort.Strings(keys)
 	if limit > 0 && len(keys) > limit {
 		keys = keys[:limit]
@@ -230,29 +306,20 @@ func (s *Store) Scan(prefix string, limit int) string {
 		}
 		b.WriteString(k)
 		b.WriteByte('=')
-		b.WriteString(s.data[k])
+		v, _ := s.get(k)
+		b.WriteString(v)
 	}
 	return b.String()
 }
 
-// encodeState serializes the key/value contents in sorted order — a
-// pair count followed by the pairs — the canonical form shared by
-// Snapshot and MarshalState.
-func (s *Store) encodeState() []byte {
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
+// preparedBytes returns the staged-2PC section encoding, re-encoding
+// only if a transaction was staged or released since the last call. The
+// returned slice is a cache: read-only for callers.
+func (s *Store) preparedBytes() []byte {
+	if s.preparedEnc == nil {
+		s.preparedEnc = s.encodePrepared()
 	}
-	sort.Strings(keys)
-	buf := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
-	for _, k := range keys {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
-		buf = append(buf, k...)
-		v := s.data[k]
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
-		buf = append(buf, v...)
-	}
-	return buf
+	return s.preparedEnc
 }
 
 // encodePrepared serializes the staged-transaction section in sorted
@@ -280,32 +347,49 @@ func (s *Store) encodePrepared() []byte {
 }
 
 // MarshalState serializes the full store for PBFT state transfer
-// (pbft.StateTransferable): the applied-operation counter, the canonical
-// sorted key/value encoding, and the staged 2PC transactions — a replica
-// recovering mid-transaction must learn the in-doubt set, or a later
-// COMMIT would find nothing to apply. The result is cached until the
-// next mutation and must be treated as read-only.
+// (pbft.StateTransferable): the applied-operation counter, a partition
+// count followed by every bucket's canonical encoding in bucket order,
+// and the staged 2PC transactions — a replica recovering mid-transaction
+// must learn the in-doubt set, or a later COMMIT would find nothing to
+// apply. Rebuilding re-encodes only buckets dirtied since the last
+// call; the result is cached until the next operation and must be
+// treated as read-only. The buffer is always a fresh allocation (never
+// one of the per-bucket caches), so retaining it across later mutations
+// is safe.
 func (s *Store) MarshalState() []byte {
 	if s.marshaled == nil {
 		buf := binary.BigEndian.AppendUint64(nil, s.applied)
-		buf = append(buf, s.encodeState()...)
-		s.marshaled = append(buf, s.encodePrepared()...)
+		buf = binary.BigEndian.AppendUint32(buf, MerkleBuckets)
+		for i := range s.buckets {
+			buf = append(buf, s.bucketBytes(i)...)
+		}
+		s.marshaled = append(buf, s.preparedBytes()...)
 	}
 	return s.marshaled
 }
 
-// Snapshot digests the full marshaled state deterministically
-// (pbft.Application): keys are hashed in sorted order so replicas with
-// equal contents produce equal digests regardless of map iteration order.
-// The digest covers exactly what MarshalState ships — including the
-// applied counter — so state-transfer verification detects tampering with
-// any transferred byte.
+// Snapshot digests the state deterministically (pbft.Application) as the
+// Merkle root over the bucket digests combined with the applied counter
+// and the staged-2PC section: Hash(applied || merkleRoot(buckets) ||
+// Hash(prepared)). Keys are hashed in sorted order within their bucket,
+// so replicas with equal contents produce equal digests regardless of
+// map iteration order, and the digest covers every byte a transfer
+// ships. Unlike a flat digest of MarshalState, recomputation after K
+// mutated buckets costs O(K + interior nodes), not O(state) — this is
+// what makes frequent checkpoints affordable at large state sizes.
 func (s *Store) Snapshot() auth.Digest {
-	return auth.Hash(s.MarshalState())
+	digests := make([]auth.Digest, MerkleBuckets)
+	for i := range digests {
+		s.bucketBytes(i)
+		digests[i] = s.bucketDig[i]
+	}
+	return composeRoot(s.applied, merkleRoot(digests), auth.Hash(s.preparedBytes()))
 }
 
 // UnmarshalState replaces the store's contents — key/value data and
-// staged 2PC transactions — with a marshaled state.
+// staged 2PC transactions — with a marshaled state. Keys are re-homed
+// into their owning buckets regardless of which partition section they
+// arrived in, so any decodable input re-marshals canonically.
 func (s *Store) UnmarshalState(state []byte) error {
 	if len(state) < 8 {
 		return fmt.Errorf("kvstore: state too short (%d bytes)", len(state))
@@ -313,72 +397,53 @@ func (s *Store) UnmarshalState(state []byte) error {
 	applied := binary.BigEndian.Uint64(state)
 	rest := state[8:]
 
-	npairs, rest, err := takeCount(rest, "pair count")
+	nbuckets, rest, err := takeCount(rest, "partition count")
 	if err != nil {
 		return err
 	}
-	data := make(map[string]string)
-	for i := uint32(0); i < npairs; i++ {
-		var k, v string
-		if k, rest, err = takeString(rest); err != nil {
-			return fmt.Errorf("kvstore: state key: %w", err)
-		}
-		if v, rest, err = takeString(rest); err != nil {
-			return fmt.Errorf("kvstore: state value: %w", err)
-		}
-		data[k] = v
+	if nbuckets != MerkleBuckets {
+		return fmt.Errorf("kvstore: state has %d partitions (want %d)", nbuckets, MerkleBuckets)
 	}
-
-	ntxns, rest, err := takeCount(rest, "txn count")
-	if err != nil {
-		return err
-	}
-	prepared := make(map[string]*preparedTxn)
-	locks := make(map[string]string)
-	for i := uint32(0); i < ntxns; i++ {
-		var id string
-		if id, rest, err = takeString(rest); err != nil {
-			return fmt.Errorf("kvstore: staged txn id: %w", err)
-		}
-		if _, dup := prepared[id]; dup {
-			return fmt.Errorf("kvstore: duplicate staged txn %q", id)
-		}
-		var nsubs uint32
-		if nsubs, rest, err = takeCount(rest, "staged sub count"); err != nil {
+	var buckets [MerkleBuckets]map[string]string
+	size := 0
+	for b := uint32(0); b < nbuckets; b++ {
+		var npairs uint32
+		if npairs, rest, err = takeCount(rest, "pair count"); err != nil {
 			return err
 		}
-		staged := &preparedTxn{}
-		for j := uint32(0); j < nsubs; j++ {
-			if len(rest) < 1 {
-				return fmt.Errorf("kvstore: truncated staged sub code")
-			}
-			code := OpCode(rest[0])
-			rest = rest[1:]
-			if code != OpGet && code != OpPut {
-				return fmt.Errorf("kvstore: staged sub op %d (only get/put allowed)", code)
-			}
+		for i := uint32(0); i < npairs; i++ {
 			var k, v string
 			if k, rest, err = takeString(rest); err != nil {
-				return fmt.Errorf("kvstore: staged sub key: %w", err)
+				return fmt.Errorf("kvstore: state key: %w", err)
 			}
 			if v, rest, err = takeString(rest); err != nil {
-				return fmt.Errorf("kvstore: staged sub value: %w", err)
+				return fmt.Errorf("kvstore: state value: %w", err)
 			}
-			if holder, locked := locks[k]; locked && holder != id {
-				return fmt.Errorf("kvstore: staged txns %q and %q both lock %q", holder, id, k)
+			home := bucketOf(k)
+			if buckets[home] == nil {
+				buckets[home] = make(map[string]string)
 			}
-			staged.subs = append(staged.subs, TxnSub{Code: code, Key: k, Value: v})
-			locks[k] = id
+			if _, dup := buckets[home][k]; !dup {
+				size++
+			}
+			buckets[home][k] = v
 		}
-		prepared[id] = staged
 	}
-	if len(rest) != 0 {
-		return fmt.Errorf("kvstore: %d trailing state bytes", len(rest))
+
+	prepared, locks, err := decodePrepared(rest)
+	if err != nil {
+		return err
 	}
-	s.data = data
+	s.buckets = buckets
+	s.size = size
 	s.prepared = prepared
 	s.locks = locks
 	s.applied = applied
+	for i := range s.bucketEnc {
+		s.bucketEnc[i] = nil
+		s.bucketMod[i] = applied
+	}
+	s.preparedEnc = nil
 	s.marshaled = nil
 	return nil
 }

@@ -348,10 +348,10 @@ func (s *Store) executeTxn(id, payload string) []byte {
 	for i, sub := range subs {
 		switch sub.Code {
 		case OpPut:
-			s.data[sub.Key] = sub.Value
+			s.put(sub.Key, sub.Value)
 			results[i] = []byte("OK")
 		case OpGet:
-			if v, ok := s.data[sub.Key]; ok {
+			if v, ok := s.get(sub.Key); ok {
 				results[i] = []byte(v)
 			} else {
 				results[i] = []byte("NOTFOUND")
@@ -393,7 +393,7 @@ func (s *Store) executePrepare(id, payload string) []byte {
 		case OpGet:
 			if v, ok := overlay[sub.Key]; ok {
 				results[i] = []byte(v)
-			} else if v, ok := s.data[sub.Key]; ok {
+			} else if v, ok := s.get(sub.Key); ok {
 				results[i] = []byte(v)
 			} else {
 				results[i] = []byte("NOTFOUND")
@@ -401,6 +401,7 @@ func (s *Store) executePrepare(id, payload string) []byte {
 		}
 	}
 	s.prepared[id] = &preparedTxn{subs: subs}
+	s.touchPrepared()
 	return EncodeTxnResult(TxnPrepared, results)
 }
 
@@ -413,7 +414,7 @@ func (s *Store) executeCommit(id string) []byte {
 	}
 	for _, sub := range staged.subs {
 		if sub.Code == OpPut {
-			s.data[sub.Key] = sub.Value
+			s.put(sub.Key, sub.Value)
 		}
 	}
 	s.releaseTxn(id, staged)
@@ -439,6 +440,7 @@ func (s *Store) releaseTxn(id string, staged *preparedTxn) {
 		}
 	}
 	delete(s.prepared, id)
+	s.touchPrepared()
 }
 
 // executeScanPart runs a partition-filtered scan. The value field
@@ -452,11 +454,11 @@ func (s *Store) executeScanPart(prefix, value string) []byte {
 		return []byte("ERR bad scan partition spec " + strconv.Quote(value))
 	}
 	var keys []string
-	for k := range s.data {
+	s.forEach(func(k, _ string) {
 		if strings.HasPrefix(k, prefix) && PartitionKey(k, parts) == part {
 			keys = append(keys, k)
 		}
-	}
+	})
 	sort.Strings(keys)
 	if limit > 0 && len(keys) > limit {
 		keys = keys[:limit]
@@ -468,7 +470,8 @@ func (s *Store) executeScanPart(prefix, value string) []byte {
 		}
 		b.WriteString(k)
 		b.WriteByte('=')
-		b.WriteString(s.data[k])
+		v, _ := s.get(k)
+		b.WriteString(v)
 	}
 	return []byte(b.String())
 }

@@ -59,6 +59,15 @@ const (
 	MetricLockRetries      = "lock_retries"      // unit: count (LOCKED resubmissions)
 	MetricPrepareWait      = "prepare_wait"      // unit: us (2PC dispatch->all votes)
 	MetricCommitWait       = "commit_wait"       // unit: us (2PC decision->all quorums)
+
+	// State-size metrics exported by E12 (incremental checkpoints and
+	// Merkle partial state transfer).
+	MetricRecoveryTime    = "recovery_time"    // unit: us (restart -> caught up to the group)
+	MetricCheckpointBytes = "checkpoint_bytes" // unit: bytes (steady-state serialization per checkpoint)
+	MetricCheckpointPause = "checkpoint_pause" // unit: us (modeled digest CPU per steady checkpoint)
+	MetricTransferBytes   = "transfer_bytes"   // unit: bytes (state bytes served by responders)
+	MetricStateBytes      = "state_bytes"      // unit: bytes (full snapshot size at run end)
+	MetricThroughputDip   = "throughput_dip"   // unit: ratio (recovered-phase / healthy throughput)
 )
 
 // ResultSeries is one named curve of an experiment result: points share an

@@ -35,7 +35,10 @@ func TestCodecRoundTripAllTypes(t *testing.T) {
 			Prepared: []PreparedProof{{View: 4, Seq: 65, Digest: d, Batch: reqs}}},
 		NewView{View: 5, PrePrepares: []PrePrepare{{View: 5, Seq: 65, Digest: d, Batch: reqs}}},
 		StateRequest{Seq: 42, Replica: 3},
+		StateRequest{Seq: 42, Replica: 3, Root: d, Digests: []auth.Digest{d, auth.Hash(nil)}},
 		StateResponse{Seq: 64, View: 5, Digest: d, State: []byte("snapshot"), Replica: 1},
+		StateManifest{Seq: 64, View: 5, Root: d, Header: []byte("hdr"), Digests: []auth.Digest{auth.Hash(nil), d}, Replica: 2},
+		StatePart{Seq: 64, Part: 17, Data: []byte("bucket-bytes"), Replica: 2},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -89,6 +92,12 @@ func normalize(m Message) Message {
 		return v
 	case StateResponse:
 		v.State = fix(v.State)
+		return v
+	case StateManifest:
+		v.Header = fix(v.Header)
+		return v
+	case StatePart:
+		v.Data = fix(v.Data)
 		return v
 	default:
 		return m

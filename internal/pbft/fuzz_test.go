@@ -25,9 +25,12 @@ func fuzzSeedMessages() [][]byte {
 		ViewChange{NewView: 2, Stable: 64, Prepared: []PreparedProof{{View: 1, Seq: 65, Digest: d, Batch: batch}}, Replica: 1},
 		NewView{View: 2, PrePrepares: []PrePrepare{{View: 2, Seq: 65, Digest: d, Batch: batch}}},
 		StateRequest{Seq: 12, Replica: 1},
+		StateRequest{Seq: 12, Replica: 1, Root: d, Digests: []auth.Digest{d, d}},
 		StateResponse{Seq: 64, View: 2, Digest: d, State: []byte("state"), Replica: 1},
 		ReadRequest{Client: 1, Timestamp: 2, Op: []byte("get/k")},
 		ReadReply{Timestamp: 2, Client: 1, Replica: 3, Executed: 17, Result: []byte("v")},
+		StateManifest{Seq: 64, View: 2, Root: d, Header: []byte("hd"), Digests: []auth.Digest{d}, Replica: 1},
+		StatePart{Seq: 64, Part: 3, Data: []byte("part"), Replica: 1},
 	}
 	out := make([][]byte, len(msgs))
 	for i, m := range msgs {

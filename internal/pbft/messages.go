@@ -35,6 +35,8 @@ const (
 	MsgStateResponse
 	MsgReadRequest
 	MsgReadReply
+	MsgStateManifest
+	MsgStatePart
 )
 
 func (t MsgType) String() string {
@@ -63,6 +65,10 @@ func (t MsgType) String() string {
 		return "READ-REQUEST"
 	case MsgReadReply:
 		return "READ-REPLY"
+	case MsgStateManifest:
+		return "STATE-MANIFEST"
+	case MsgStatePart:
+		return "STATE-PART"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -152,6 +158,51 @@ type StateRequest struct {
 	// if their stable checkpoint is beyond it.
 	Seq     uint64
 	Replica uint32
+	// Root and Digests describe the requester's current Merkle state
+	// (partitioned applications only): the root digest plus every leaf
+	// partition digest. A responder holding partitioned checkpoints
+	// streams only the partitions whose digests diverge; an empty digest
+	// list requests the legacy full-snapshot StateResponse.
+	Root    auth.Digest
+	Digests []auth.Digest
+}
+
+// StateManifest opens a partial state transfer: it describes one retained
+// checkpoint of a partitioned application — the quorum-certifiable root,
+// the transfer header (application metadata outside the partitions) and
+// every leaf partition digest. The requester verifies the manifest is
+// self-consistent (ComposeRoot(Header, Digests) == Root), then verifies
+// every arriving StatePart against Digests, so a Byzantine responder is
+// caught on the first corrupt partition rather than after a full
+// download. Adoption still requires the root be certified by F+1 matching
+// manifests or a checkpoint-quorum certificate.
+type StateManifest struct {
+	// Seq is the responder's retained checkpoint sequence.
+	Seq uint64
+	// View is the responder's current view (rejoin hint, as in
+	// StateResponse).
+	View uint64
+	// Root is the checkpoint's state digest (the Merkle root).
+	Root auth.Digest
+	// Header is the application's transfer header at the checkpoint.
+	Header []byte
+	// Digests are the leaf partition digests at the checkpoint.
+	Digests []auth.Digest
+	Replica uint32
+}
+
+// StatePart carries one divergent partition of a partial state transfer.
+// It rides msgnet's bulk class like full snapshots, so streaming a large
+// state never head-of-line-blocks agreement traffic.
+type StatePart struct {
+	// Seq is the checkpoint sequence of the manifest this part belongs to.
+	Seq uint64
+	// Part is the partition index.
+	Part uint32
+	// Data is the serialized partition; auth.Hash(Data) must equal the
+	// manifest's Digests[Part].
+	Data    []byte
+	Replica uint32
 }
 
 // StateResponse carries a responder's stable checkpoint: the application
@@ -218,6 +269,8 @@ func (StateRequest) msgType() MsgType  { return MsgStateRequest }
 func (StateResponse) msgType() MsgType { return MsgStateResponse }
 func (ReadRequest) msgType() MsgType   { return MsgReadRequest }
 func (ReadReply) msgType() MsgType     { return MsgReadReply }
+func (StateManifest) msgType() MsgType { return MsgStateManifest }
+func (StatePart) msgType() MsgType     { return MsgStatePart }
 
 type encoder struct{ buf []byte }
 
@@ -303,6 +356,32 @@ func encodeRequests(e *encoder, reqs []Request) {
 	}
 }
 
+func encodeDigests(e *encoder, ds []auth.Digest) {
+	e.u32(uint32(len(ds)))
+	for _, d := range ds {
+		e.digest(d)
+	}
+}
+
+func decodeDigests(d *decoder) []auth.Digest {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<20 {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil // nil round-trips to nil (reflect-equal for tests)
+	}
+	ds := make([]auth.Digest, 0, n)
+	for i := 0; i < n; i++ {
+		ds = append(ds, d.digest())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ds
+}
+
 func decodeRequests(d *decoder) []Request {
 	n := int(d.u32())
 	if d.err != nil || n < 0 || n > 1<<20 {
@@ -377,6 +456,20 @@ func Encode(m Message) []byte {
 	case StateRequest:
 		e.u64(v.Seq)
 		e.u32(v.Replica)
+		e.digest(v.Root)
+		encodeDigests(e, v.Digests)
+	case StateManifest:
+		e.u64(v.Seq)
+		e.u64(v.View)
+		e.digest(v.Root)
+		e.bytes(v.Header)
+		encodeDigests(e, v.Digests)
+		e.u32(v.Replica)
+	case StatePart:
+		e.u64(v.Seq)
+		e.u32(v.Part)
+		e.bytes(v.Data)
+		e.u32(v.Replica)
 	case StateResponse:
 		e.u64(v.Seq)
 		e.u64(v.View)
@@ -445,7 +538,11 @@ func Decode(raw []byte) (Message, error) {
 		}
 		m = nv
 	case MsgStateRequest:
-		m = StateRequest{Seq: d.u64(), Replica: d.u32()}
+		m = StateRequest{Seq: d.u64(), Replica: d.u32(), Root: d.digest(), Digests: decodeDigests(d)}
+	case MsgStateManifest:
+		m = StateManifest{Seq: d.u64(), View: d.u64(), Root: d.digest(), Header: d.bytes(), Digests: decodeDigests(d), Replica: d.u32()}
+	case MsgStatePart:
+		m = StatePart{Seq: d.u64(), Part: d.u32(), Data: d.bytes(), Replica: d.u32()}
 	case MsgStateResponse:
 		m = StateResponse{Seq: d.u64(), View: d.u64(), Digest: d.digest(), State: d.bytes(), Replica: d.u32()}
 	case MsgReadRequest:

@@ -1,0 +1,252 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"rubin/internal/kvstore"
+	"rubin/internal/sim"
+	"rubin/internal/transport"
+)
+
+// prefillCluster applies n puts directly to every replica's store before
+// any traffic, simulating a group with accumulated cold state. The keys
+// are distinct from workload keys and applied identically everywhere, so
+// digests and applied counters stay in agreement.
+func prefillCluster(c *Cluster, n int) {
+	for i := range c.Apps {
+		s := c.Apps[i].(*kvstore.Store)
+		for k := 0; k < n; k++ {
+			s.Execute(kvstore.EncodeOp(kvstore.OpPut, fmt.Sprintf("cold%06d", k), "prefill-value"))
+		}
+	}
+}
+
+// TestPartialTransferShipsOnlyDivergentState verifies the tentpole
+// economics: recovering a replica into a cluster with a large cold
+// state must move far fewer bytes than a full snapshot, because the
+// restarted replica's empty buckets match nothing and only the
+// populated partitions stream. The same scenario under
+// FullStateTransfer must move at least one whole snapshot, and the
+// partial path must serve strictly fewer bytes.
+func TestPartialTransferShipsOnlyDivergentState(t *testing.T) {
+	served := func(full bool) (bytes uint64, c *Cluster) {
+		cfg := transferConfig()
+		cfg.FullStateTransfer = full
+		c = newTestCluster(t, transport.KindTCP, cfg)
+		cl, err := c.AddClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Crash(3)
+		invokeN(t, c, cl, "hot", 20)
+		if err := c.Restart(3); err != nil {
+			t.Fatal(err)
+		}
+		c.Loop.Run()
+		invokeN(t, c, cl, "post", 10)
+		c.RunFor(200 * sim.Millisecond)
+		if c.Replicas[3].StateTransfers() == 0 {
+			t.Fatal("restarted replica completed no state transfer")
+		}
+		if got, want := c.Replicas[3].Executed(), c.Replicas[0].Executed(); got != want {
+			t.Fatalf("restarted replica executed %d, group %d", got, want)
+		}
+		for i := 0; i < 4; i++ {
+			bytes += c.Replicas[i].StateBytesServed()
+		}
+		return bytes, c
+	}
+	partial, c := served(false)
+	full, _ := served(true)
+	snapshot := uint64(len(c.Apps[0].(*kvstore.Store).MarshalState()))
+	if full < snapshot {
+		t.Fatalf("legacy transfer served %d bytes, below one snapshot (%d)", full, snapshot)
+	}
+	if partial >= full {
+		t.Fatalf("partial transfer served %d bytes, legacy served %d — no savings", partial, full)
+	}
+	// The hot keys occupy a handful of the 256 buckets; the savings
+	// should be substantial, not marginal.
+	if partial*2 > full {
+		t.Fatalf("partial transfer served %d of %d legacy bytes — expected < half", partial, full)
+	}
+}
+
+// TestByzantineCorruptedSubtree restarts a replica while one responder
+// serves corrupted partitions: every StatePart is verified against the
+// certified manifest on arrival, so the fetcher must reject and ban the
+// corrupt peer, count the rejection, and still recover through the
+// honest responders.
+func TestByzantineCorruptedSubtree(t *testing.T) {
+	c := newTestCluster(t, transport.KindTCP, transferConfig())
+	cl, err := c.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(3)
+	invokeN(t, c, cl, "byz", 20)
+	c.Loop.Post(func() {
+		c.Replicas[1].SetFaults(Faults{CorruptStateParts: true})
+	})
+	if err := c.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	c.Loop.Run()
+	invokeN(t, c, cl, "post", 10)
+	c.RunFor(200 * sim.Millisecond)
+
+	rep := c.Replicas[3]
+	if rep.StateTransfers() == 0 {
+		t.Fatal("replica never completed a state transfer despite honest majority")
+	}
+	if got, want := rep.Executed(), c.Replicas[0].Executed(); got != want {
+		t.Fatalf("replica 3 executed %d, group %d", got, want)
+	}
+	if rep.StateRejects() == 0 {
+		t.Fatal("corrupted partitions were never detected")
+	}
+	if d0 := c.Apps[0].Snapshot(); c.Apps[3].Snapshot() != d0 {
+		t.Fatal("recovered state diverged")
+	}
+	if v, ok := c.Apps[3].(*kvstore.Store).Get("byz000"); !ok || v != "v" {
+		t.Fatal("recovered state missing a committed key")
+	}
+}
+
+// TestCheckpointRetentionBounded is the regression test for the
+// checkpoint-amplification bug: across a long run the per-replica
+// retained checkpoint bytes must stay within a small multiple of one
+// state snapshot (one materialized base plus delta partitions), where
+// the old full-state retention held a snapshot per in-window
+// checkpoint. The legacy mode run alongside pins the contrast.
+func TestCheckpointRetentionBounded(t *testing.T) {
+	retained := func(full bool) (perCheckpoint float64, snapshot uint64) {
+		cfg := transferConfig()
+		cfg.FullStateTransfer = full
+		c := newTestCluster(t, transport.KindTCP, cfg)
+		prefillCluster(c, 2000) // sizeable cold state amplifies full retention
+		cl, err := c.AddClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		invokeN(t, c, cl, "ret", 48) // 24 seqs = 6 checkpoint intervals
+		count, _ := c.Replicas[0].CheckpointStats()
+		if count < 4 {
+			t.Fatalf("only %d checkpoints taken", count)
+		}
+		snapshot = uint64(len(c.Apps[0].(*kvstore.Store).MarshalState()))
+		return float64(c.Replicas[0].RetainedStateBytes()) / float64(snapshot), snapshot
+	}
+	deltaRatio, snap := retained(false)
+	legacyRatio, _ := retained(true)
+	// Delta retention: one base (≈1 snapshot) + in-window dirty buckets.
+	if deltaRatio > 2.0 {
+		t.Fatalf("delta retention holds %.1f× the %d-byte snapshot, want <= 2.0×", deltaRatio, snap)
+	}
+	if legacyRatio <= deltaRatio {
+		t.Fatalf("legacy retention %.1f× not above delta retention %.1f× — test lost its contrast", legacyRatio, deltaRatio)
+	}
+}
+
+// hotBuckets is the bucket cutoff separating the update-heavy working
+// set from the cold mass in the sublinearity test: hot keys land in
+// buckets [0, hotBuckets), cold prefill in [hotBuckets, MerkleBuckets).
+// Incremental checkpoints win exactly when updates concentrate in a
+// subset of partitions; interleaving hot and cold keys in the same
+// bucket would re-serialize the cold neighbors on every interval (the
+// granularity tradeoff of partition-level deltas).
+const hotBuckets = 8
+
+// filteredKeys returns n keys of the form prefix<i> whose Merkle bucket
+// satisfies the predicate.
+func filteredKeys(prefix string, n int, keep func(bucket int) bool) []string {
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("%s%06d", prefix, i)
+		if keep(kvstore.PartitionKey(k, kvstore.MerkleBuckets)) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// invokeKeys commits one put per key through the client.
+func invokeKeys(t *testing.T, c *Cluster, cl *Client, keys []string) {
+	t.Helper()
+	done := 0
+	c.Loop.Post(func() {
+		for _, k := range keys {
+			cl.Invoke(kvstore.EncodeOp(kvstore.OpPut, k, "v"), func([]byte) { done++ })
+		}
+	})
+	c.Loop.Run()
+	if done != len(keys) {
+		t.Fatalf("completed %d of %d requests", done, len(keys))
+	}
+}
+
+// TestIncrementalCheckpointCostSublinear pins the kvstore-level
+// economics the E12 experiment measures end to end: with a hot working
+// set over a growing cold mass, steady-state checkpoint bytes (the
+// dirty partitions re-serialized per interval) must not scale with
+// total state size.
+func TestIncrementalCheckpointCostSublinear(t *testing.T) {
+	steady := func(prefill int) uint64 {
+		cfg := transferConfig()
+		c := newTestCluster(t, transport.KindTCP, cfg)
+		cold := filteredKeys("cold", prefill, func(b int) bool { return b >= hotBuckets })
+		for i := range c.Apps {
+			s := c.Apps[i].(*kvstore.Store)
+			for _, k := range cold {
+				s.Execute(kvstore.EncodeOp(kvstore.OpPut, k, "prefill-value"))
+			}
+		}
+		cl, err := c.AddClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		invokeKeys(t, c, cl, filteredKeys("hot", 48, func(b int) bool { return b < hotBuckets }))
+		count, bytes := c.Replicas[0].CheckpointSteadyStats()
+		if count == 0 {
+			t.Fatal("no steady-state checkpoints taken")
+		}
+		return bytes / count
+	}
+	small, large := steady(500), steady(8000)
+	// 16× the cold state must not mean anywhere near 16× the steady
+	// checkpoint bytes; allow generous slack for per-interval variance.
+	if large > small*4 {
+		t.Fatalf("steady checkpoint bytes grew %d -> %d with 16x state — not sublinear", small, large)
+	}
+}
+
+// TestFullStateTransferFallback pins the E12 baseline mode: with
+// FullStateTransfer set cluster-wide, recovery must still work through
+// the legacy whole-snapshot path, with zero partial-protocol activity.
+func TestFullStateTransferFallback(t *testing.T) {
+	cfg := transferConfig()
+	cfg.FullStateTransfer = true
+	c := newTestCluster(t, transport.KindTCP, cfg)
+	cl, err := c.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(3)
+	invokeN(t, c, cl, "legacy", 20)
+	if err := c.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	c.Loop.Run()
+	invokeN(t, c, cl, "post", 10)
+	c.RunFor(200 * sim.Millisecond)
+	if c.Replicas[3].StateTransfers() == 0 {
+		t.Fatal("legacy transfer never completed")
+	}
+	if got, want := c.Replicas[3].Executed(), c.Replicas[0].Executed(); got != want {
+		t.Fatalf("replica 3 executed %d, group %d", got, want)
+	}
+	if d0 := c.Apps[0].Snapshot(); c.Apps[3].Snapshot() != d0 {
+		t.Fatal("legacy-recovered state diverged")
+	}
+}

@@ -36,6 +36,46 @@ type StateTransferable interface {
 	UnmarshalState(state []byte) error
 }
 
+// PartitionedState is the optional application interface enabling
+// incremental checkpoints and Merkle partial state transfer (Castro &
+// Liskov §6.3, hierarchical state partitions). The application's state is
+// split into a fixed number of partitions, each with a stable digest;
+// the root digest returned by Snapshot must be recomputable from a
+// transfer header plus the partition digests via ComposeRoot.
+//
+// With this interface a replica retains checkpoints as delta chains (one
+// materialized base plus, per later checkpoint, only the partitions
+// dirtied since the previous one) and serves state transfer as a subtree
+// negotiation: the fetcher advertises its partition digests, the
+// responder streams only divergent partitions, and the fetcher verifies
+// every partition against the certified root's digest list on arrival.
+type PartitionedState interface {
+	StateTransferable
+	// PartitionCount returns the fixed number of leaf partitions.
+	PartitionCount() int
+	// PartitionDigests returns the current digest of every partition.
+	PartitionDigests() []auth.Digest
+	// CheckpointDelta returns the partitions mutated since the
+	// application's applied-operation counter read since.
+	CheckpointDelta(since uint64) []int
+	// Applied returns the applied-operation counter (the clock
+	// CheckpointDelta is expressed in).
+	Applied() uint64
+	// MarshalPartition serializes one partition; auth.Hash of the result
+	// must equal its entry in PartitionDigests.
+	MarshalPartition(part int) []byte
+	// MarshalHeader serializes the state outside the partitions (e.g.
+	// the applied counter and any non-partitioned sections).
+	MarshalHeader() []byte
+	// ComposeRoot statelessly recomputes the Snapshot root a store with
+	// this header and these partition digests would report.
+	ComposeRoot(header []byte, digests []auth.Digest) auth.Digest
+	// ApplyTransfer atomically replaces the full state from a header
+	// plus one serialized partition per index; the state must be
+	// unchanged on error.
+	ApplyTransfer(header []byte, parts [][]byte) error
+}
+
 // TentativeReader is the optional application interface enabling the
 // read-only fast path (Castro & Liskov §4.4): applications that can
 // evaluate side-effect-free operations without mutating state let a
@@ -71,6 +111,14 @@ type Config struct {
 	// each instance in a different view so leadership is spread across
 	// replicas.
 	InitialView uint64
+	// FullStateTransfer disables the incremental checkpoint / partial
+	// transfer machinery even when the application implements
+	// PartitionedState: every checkpoint retains a full serialized
+	// snapshot and state transfer ships full StateResponse blobs — the
+	// pre-Merkle behavior, kept as the measured baseline of experiment
+	// E12. The flag must be uniform across a group: it selects the
+	// transfer protocol both sides speak.
+	FullStateTransfer bool
 }
 
 // DefaultConfig returns a reasonable small-cluster configuration
@@ -115,6 +163,10 @@ type Faults struct {
 	// SendDelay postpones every outgoing message by this duration (a
 	// slow or deliberately delaying replica).
 	SendDelay sim.Time
+	// CorruptStateParts flips a byte in every served StatePart payload —
+	// a Byzantine responder feeding junk into a partial state transfer
+	// (caught by the fetcher's per-partition digest check on arrival).
+	CorruptStateParts bool
 }
 
 // slot is one sequence number's agreement state.
@@ -154,7 +206,15 @@ type Replica struct {
 
 	checkpoints map[uint64]map[uint32]auth.Digest
 	snapshots   map[uint64]auth.Digest // own checkpoint digests
-	states      map[uint64][]byte      // serialized app state per own checkpoint
+	states      map[uint64][]byte      // full snapshots per checkpoint (non-partitioned apps)
+
+	// cps retains partitioned-application checkpoints as a delta chain:
+	// the oldest retained record is a materialized base holding every
+	// partition; each later record holds only the partitions dirtied
+	// since the previous retained record. advanceStable folds the chain
+	// so retention stays O(state + recent deltas) instead of the old
+	// O(retained checkpoints × state).
+	cps map[uint64]*cpRecord
 
 	// State transfer: the latest response retained per authenticated
 	// sender — bounded by N, so a Byzantine peer streaming responses
@@ -166,6 +226,26 @@ type Replica struct {
 	stateTarget    uint64
 	stateRetry     *sim.Timer
 	stateTransfers uint64
+
+	// Partial-transfer fetch state: one in-progress transfer per
+	// authenticated sender (manifest + the divergent partitions received
+	// and digest-verified so far). A sender whose manifest or partition
+	// fails verification is dropped and banned until the next successful
+	// adoption; stateRejects counts every such rejection.
+	stateXfers   map[uint32]*stateXfer
+	stateBanned  map[uint32]bool
+	stateRejects *metrics.Counter
+
+	// Checkpoint cost accounting (reported by E12): every checkpoint's
+	// serialized bytes, plus the steady-state subset — checkpoints that
+	// were true deltas (or, for non-partitioned apps, any checkpoint
+	// after the instance's first). stateBytesServed counts the bytes
+	// this replica shipped to fetchers.
+	checkpointCount  uint64
+	checkpointBytes  uint64
+	steadyCpCount    uint64
+	steadyCpBytes    uint64
+	stateBytesServed uint64
 
 	// stopped marks a crashed process: no sends, no receives, no timers.
 	stopped bool
@@ -220,7 +300,11 @@ func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring,
 		checkpoints:  make(map[uint64]map[uint32]auth.Digest),
 		snapshots:    make(map[uint64]auth.Digest),
 		states:       make(map[uint64][]byte),
+		cps:          make(map[uint64]*cpRecord),
 		stateVotes:   make(map[uint32]StateResponse),
+		stateXfers:   make(map[uint32]*stateXfer),
+		stateBanned:  make(map[uint32]bool),
+		stateRejects: metrics.NewCounter(),
 		proposed:     make(map[string]bool),
 		replyCache:   make(map[uint32]Reply),
 		reqTimers:    make(map[string]*sim.Timer),
@@ -247,6 +331,68 @@ func (r *Replica) LogSize() int { return len(r.log) }
 
 // StateTransfers returns the number of completed state transfers.
 func (r *Replica) StateTransfers() uint64 { return r.stateTransfers }
+
+// StateRejects returns how many transfer manifests or partitions failed
+// digest verification on arrival (each one dropped its sender).
+func (r *Replica) StateRejects() uint64 { return r.stateRejects.Value() }
+
+// StateBytesServed returns the serialized state bytes this replica
+// shipped to fetching peers (full snapshots or divergent partitions).
+func (r *Replica) StateBytesServed() uint64 { return r.stateBytesServed }
+
+// CheckpointStats returns how many checkpoints this replica took and
+// their total serialized bytes (the data newly retained and digested per
+// checkpoint — for partitioned applications only the dirty partitions).
+func (r *Replica) CheckpointStats() (count, bytes uint64) {
+	return r.checkpointCount, r.checkpointBytes
+}
+
+// CheckpointSteadyStats returns the steady-state subset of
+// CheckpointStats: delta checkpoints for partitioned applications, or
+// every checkpoint after the instance's first otherwise. This is the
+// per-interval cost once the base exists — the number E12 pins sublinear
+// in state size.
+func (r *Replica) CheckpointSteadyStats() (count, bytes uint64) {
+	return r.steadyCpCount, r.steadyCpBytes
+}
+
+// RetainedStateBytes returns the serialized state bytes currently held
+// for serving state transfer (full snapshots plus delta-chain records).
+// The bounded-retention regression test asserts this stays O(state), not
+// O(retained checkpoints × state).
+func (r *Replica) RetainedStateBytes() uint64 {
+	var total uint64
+	for _, st := range r.states {
+		total += uint64(len(st))
+	}
+	for _, rec := range r.cps {
+		total += uint64(len(rec.header))
+		for _, p := range rec.parts {
+			total += uint64(len(p))
+		}
+	}
+	return total
+}
+
+// cpRecord is one retained checkpoint of a partitioned application. A
+// base record materializes every partition; a delta record holds only
+// the partitions dirtied since the previous retained record, so serving
+// a partition walks the chain newest-first to the base.
+type cpRecord struct {
+	applied uint64 // the application's applied counter at the checkpoint
+	header  []byte
+	digests []auth.Digest
+	parts   map[int][]byte
+	base    bool
+}
+
+// stateXfer is one in-progress partial transfer from one sender: the
+// self-consistency-verified manifest plus the partitions received and
+// digest-verified so far.
+type stateXfer struct {
+	manifest StateManifest
+	parts    map[int][]byte
+}
 
 // SetFaults installs fault-injection behaviour.
 func (r *Replica) SetFaults(f Faults) { r.faults = f }
@@ -381,10 +527,12 @@ func (r *Replica) broadcast(m Message) {
 }
 
 // classFor routes protocol messages onto msgnet traffic classes: bulk
-// state snapshots ride ClassBulk so a large transfer cannot
+// state transfer — full snapshots, partial-transfer manifests and
+// partition payloads — rides ClassBulk so a large transfer cannot
 // head-of-line-block the latency-critical agreement messages.
 func classFor(t MsgType) msgnet.Class {
-	if t == MsgStateResponse {
+	switch t {
+	case MsgStateResponse, MsgStateManifest, MsgStatePart:
 		return msgnet.ClassBulk
 	}
 	return msgnet.ClassControl
@@ -504,6 +652,10 @@ func (r *Replica) handleEnvelope(raw []byte) {
 		r.handleStateRequest(env.Sender, m)
 	case StateResponse:
 		r.handleStateResponse(env.Sender, m)
+	case StateManifest:
+		r.handleStateManifest(env.Sender, m)
+	case StatePart:
+		r.handleStatePart(env.Sender, m)
 	}
 }
 
@@ -522,6 +674,10 @@ func claimedReplica(m Message) (uint32, bool) {
 	case StateRequest:
 		return v.Replica, true
 	case StateResponse:
+		return v.Replica, true
+	case StateManifest:
+		return v.Replica, true
+	case StatePart:
 		return v.Replica, true
 	default:
 		return 0, false
@@ -897,13 +1053,82 @@ func (r *Replica) sendToClient(client uint32, payload []byte) {
 func (r *Replica) takeCheckpoint(seq uint64) {
 	d := r.app.Snapshot()
 	r.snapshots[seq] = d
-	if st, ok := r.app.(StateTransferable); ok {
-		// Retain the serialized state so lagging peers can fetch it.
-		r.states[seq] = st.MarshalState()
+	p := r.node.Network().Params().Crypto
+	if ps, ok := r.partitioned(); ok {
+		// Incremental checkpoint: serialize only the partitions dirtied
+		// since the previous retained checkpoint (all of them for the
+		// first — the chain's base). The modeled digest cost covers just
+		// those bytes, which is what makes the checkpoint pause O(dirty
+		// state) instead of O(state).
+		rec := &cpRecord{
+			applied: ps.Applied(),
+			header:  ps.MarshalHeader(),
+			digests: ps.PartitionDigests(),
+			parts:   make(map[int][]byte),
+		}
+		var dirty []int
+		if prev := r.newestRecordBelow(seq); prev != nil {
+			dirty = ps.CheckpointDelta(prev.applied)
+		} else {
+			rec.base = true
+			dirty = make([]int, ps.PartitionCount())
+			for i := range dirty {
+				dirty[i] = i
+			}
+		}
+		bytes := len(rec.header)
+		for _, b := range dirty {
+			part := ps.MarshalPartition(b)
+			rec.parts[b] = part
+			bytes += len(part)
+		}
+		r.cps[seq] = rec
+		r.checkpointCount++
+		r.checkpointBytes += uint64(bytes)
+		if !rec.base {
+			r.steadyCpCount++
+			r.steadyCpBytes += uint64(bytes)
+		}
+		r.crypto(auth.DigestCost(p, bytes))
+	} else if st, ok := r.app.(StateTransferable); ok {
+		// Retain the full serialized state so lagging peers can fetch it.
+		state := st.MarshalState()
+		r.states[seq] = state
+		if r.checkpointCount > 0 {
+			r.steadyCpCount++
+			r.steadyCpBytes += uint64(len(state))
+		}
+		r.checkpointCount++
+		r.checkpointBytes += uint64(len(state))
+		r.crypto(auth.DigestCost(p, len(state)))
 	}
 	cp := Checkpoint{Seq: seq, Digest: d, Replica: r.id}
 	r.recordCheckpoint(r.id, cp)
 	r.broadcast(cp)
+}
+
+// partitioned returns the application's PartitionedState interface when
+// the incremental/partial machinery is enabled (it is not when
+// Config.FullStateTransfer forces the legacy full-snapshot baseline).
+func (r *Replica) partitioned() (PartitionedState, bool) {
+	if r.cfg.FullStateTransfer {
+		return nil, false
+	}
+	ps, ok := r.app.(PartitionedState)
+	return ps, ok
+}
+
+// newestRecordBelow returns the newest retained checkpoint record older
+// than seq (nil if none) — the delta base for a checkpoint at seq.
+func (r *Replica) newestRecordBelow(seq uint64) *cpRecord {
+	var bestSeq uint64
+	var best *cpRecord
+	for s, rec := range r.cps {
+		if s < seq && s >= bestSeq {
+			bestSeq, best = s, rec
+		}
+	}
+	return best
 }
 
 func (r *Replica) handleCheckpoint(sender uint32, m Checkpoint) {
@@ -987,6 +1212,7 @@ func (r *Replica) advanceStable(seq uint64) {
 			delete(r.states, s)
 		}
 	}
+	r.foldCheckpoints(seq)
 	// State responses at or below the new stable point can never be
 	// adopted (adoption requires seq > executed >= stable).
 	for id, resp := range r.stateVotes {
@@ -994,9 +1220,76 @@ func (r *Replica) advanceStable(seq uint64) {
 			delete(r.stateVotes, id)
 		}
 	}
+	for id, x := range r.stateXfers {
+		if x.manifest.Seq <= seq {
+			delete(r.stateXfers, id)
+		}
+	}
 	if r.IsLeader() && len(r.pending) > 0 {
 		r.node.Loop().Post(r.proposeBatch)
 	}
+}
+
+// foldCheckpoints collapses the delta chain at and below the new stable
+// checkpoint into one materialized base record at stable, dropping the
+// older records. This bounds retention at one base plus the deltas above
+// stable — the fix for the old O(retained checkpoints × state) memory
+// amplification.
+func (r *Replica) foldCheckpoints(stable uint64) {
+	target := r.cps[stable]
+	if target == nil {
+		// Not a partitioned checkpoint chain (or no record at stable —
+		// possible only for non-partitioned apps); just prune old records.
+		for s := range r.cps {
+			if s < stable {
+				delete(r.cps, s)
+			}
+		}
+		return
+	}
+	if !target.base {
+		// Overlay every record up to stable in ascending order: the
+		// oldest retained record is always a base, so the merge holds
+		// every partition.
+		var seqs []uint64
+		for s := range r.cps {
+			if s <= stable {
+				seqs = append(seqs, s)
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		merged := make(map[int][]byte)
+		for _, s := range seqs {
+			for part, data := range r.cps[s].parts {
+				merged[part] = data
+			}
+		}
+		target.parts = merged
+		target.base = true
+	}
+	for s := range r.cps {
+		if s < stable {
+			delete(r.cps, s)
+		}
+	}
+}
+
+// cpPart materializes one partition of a retained checkpoint by walking
+// the delta chain newest-first down to the base.
+func (r *Replica) cpPart(seq uint64, part int) []byte {
+	var seqs []uint64
+	for s := range r.cps {
+		if s <= seq {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, s := range seqs {
+		if data, ok := r.cps[s].parts[part]; ok {
+			return data
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -1029,7 +1322,16 @@ func (r *Replica) requestStateTransfer() {
 		return
 	}
 	r.stateFetching = true
-	r.broadcast(StateRequest{Seq: r.executed, Replica: r.id})
+	req := StateRequest{Seq: r.executed, Replica: r.id}
+	if ps, ok := r.partitioned(); ok {
+		// Advertise our Merkle position so responders ship only the
+		// divergent partitions. Snapshot and the digest list come from
+		// per-partition caches, so this is cheap for a mostly-clean
+		// store.
+		req.Root = r.app.Snapshot()
+		req.Digests = ps.PartitionDigests()
+	}
+	r.broadcast(req)
 	// If no adoptable quorum of responses arrives, ask again — unless we
 	// caught up through normal execution in the meantime. Retrying is
 	// warranted while either a certified checkpoint is known to be
@@ -1048,11 +1350,16 @@ func (r *Replica) requestStateTransfer() {
 	})
 }
 
-// peersAhead reports whether any collected state response is beyond our
-// execution point.
+// peersAhead reports whether any collected state response or transfer
+// manifest is beyond our execution point.
 func (r *Replica) peersAhead() bool {
 	for _, resp := range r.stateVotes {
 		if resp.Seq > r.executed {
+			return true
+		}
+	}
+	for _, x := range r.stateXfers {
+		if x.manifest.Seq > r.executed {
 			return true
 		}
 	}
@@ -1073,14 +1380,111 @@ func (r *Replica) handleStateRequest(sender uint32, m StateRequest) {
 			best = seq
 		}
 	}
+	for seq := range r.cps {
+		if seq > m.Seq && seq > best {
+			best = seq
+		}
+	}
 	if best == 0 {
 		return // the requester is at least as current as anything we hold
 	}
 	// Reply to the authenticated sender, not the claimed Replica field.
+	if rec, ok := r.cps[best]; ok && len(m.Digests) == len(rec.digests) {
+		// Subtree negotiation: open with the manifest, then stream only
+		// the partitions whose digests diverge from the requester's.
+		r.send(sender, StateManifest{
+			Seq: best, View: r.view, Root: r.snapshots[best],
+			Header: rec.header, Digests: rec.digests, Replica: r.id,
+		})
+		for i, d := range rec.digests {
+			if m.Digests[i] == d {
+				continue
+			}
+			data := r.cpPart(best, i)
+			if r.faults.CorruptStateParts {
+				bad := make([]byte, len(data))
+				copy(bad, data)
+				if len(bad) > 0 {
+					bad[len(bad)-1] ^= 0xFF
+				}
+				data = bad
+			}
+			r.stateBytesServed += uint64(len(data))
+			r.send(sender, StatePart{Seq: best, Part: uint32(i), Data: data, Replica: r.id})
+		}
+		return
+	}
+	state, ok := r.states[best]
+	if !ok {
+		// We hold only a partitioned record but the requester cannot
+		// speak the partial protocol (no digest list / different
+		// partition count): nothing servable — another peer (or a later
+		// retained full snapshot) will answer.
+		return
+	}
+	r.stateBytesServed += uint64(len(state))
 	r.send(sender, StateResponse{
 		Seq: best, View: r.view, Digest: r.snapshots[best],
-		State: r.states[best], Replica: r.id,
+		State: state, Replica: r.id,
 	})
+}
+
+// handleStateManifest verifies and stores a partial-transfer manifest.
+// Self-consistency — the root must be recomputable from the header and
+// digest list — is checked before anything else, so every later
+// per-partition check is anchored in a root that adoption will verify
+// against F+1 matching manifests or a checkpoint certificate.
+func (r *Replica) handleStateManifest(sender uint32, m StateManifest) {
+	ps, ok := r.partitioned()
+	if !ok || m.Seq <= r.executed || r.stateBanned[sender] {
+		return
+	}
+	if len(m.Digests) != ps.PartitionCount() || ps.ComposeRoot(m.Header, m.Digests) != m.Root {
+		r.rejectStateSender(sender)
+		return
+	}
+	prev, held := r.stateXfers[sender]
+	if held && prev.manifest.Seq > m.Seq {
+		return // keep the newer transfer
+	}
+	r.stateXfers[sender] = &stateXfer{manifest: m, parts: make(map[int][]byte)}
+	r.tryAdoptState()
+}
+
+// handleStatePart verifies one received partition against its manifest's
+// digest on arrival. The first mismatch drops the sender: a Byzantine
+// peer can no longer feed junk bytes that are detected only after the
+// whole state downloaded.
+func (r *Replica) handleStatePart(sender uint32, m StatePart) {
+	ps, ok := r.partitioned()
+	if !ok || r.stateBanned[sender] {
+		return
+	}
+	x, held := r.stateXfers[sender]
+	if !held || x.manifest.Seq != m.Seq {
+		return // no matching manifest (e.g. already pruned): ignore
+	}
+	part := int(m.Part)
+	if part < 0 || part >= ps.PartitionCount() {
+		r.rejectStateSender(sender)
+		return
+	}
+	p := r.node.Network().Params().Crypto
+	r.crypto(auth.DigestCost(p, len(m.Data)))
+	if auth.Hash(m.Data) != x.manifest.Digests[part] {
+		r.rejectStateSender(sender)
+		return
+	}
+	x.parts[part] = m.Data
+	r.tryAdoptState()
+}
+
+// rejectStateSender drops a sender's in-progress transfer after a failed
+// verification and bans it until the next successful adoption.
+func (r *Replica) rejectStateSender(sender uint32) {
+	r.stateRejects.Inc()
+	delete(r.stateXfers, sender)
+	r.stateBanned[sender] = true
 }
 
 func (r *Replica) handleStateResponse(sender uint32, m StateResponse) {
@@ -1110,6 +1514,9 @@ func (r *Replica) handleStateResponse(sender uint32, m StateResponse) {
 //     peers' stable checkpoints advance so quickly that F+1 identical
 //     responses may never accumulate, but certificates keep arriving.
 func (r *Replica) tryAdoptState() bool {
+	if ps, ok := r.partitioned(); ok && r.tryAdoptPartitioned(ps) {
+		return true
+	}
 	st, ok := r.app.(StateTransferable)
 	if !ok || len(r.stateVotes) == 0 {
 		return false
@@ -1166,7 +1573,12 @@ func (r *Replica) tryAdoptState() bool {
 				if len(matching) >= r.cfg.F+1 {
 					view = minResponseView(matching)
 				}
-				r.adoptCheckpoint(resp.Seq, resp.Digest, cand.State, view)
+				// Retain the adopted snapshot so this replica can serve
+				// lagging peers in turn.
+				stateCopy := make([]byte, len(cand.State))
+				copy(stateCopy, cand.State)
+				r.states[resp.Seq] = stateCopy
+				r.adoptCheckpoint(resp.Seq, resp.Digest, view)
 				return true
 			}
 		}
@@ -1175,6 +1587,134 @@ func (r *Replica) tryAdoptState() bool {
 		}
 	}
 	return false
+}
+
+// tryAdoptPartitioned adopts a partially-transferred checkpoint if one
+// is certified and complete. Certification mirrors the full-snapshot
+// path — F+1 senders vouching for the same (seq, root) or a single
+// manifest matching a checkpoint-quorum certificate — but the state
+// arrives as partitions that were each digest-verified on receipt, and
+// partitions already matching locally are reused without any transfer.
+func (r *Replica) tryAdoptPartitioned(ps PartitionedState) bool {
+	if len(r.stateXfers) == 0 {
+		return false
+	}
+	type group struct {
+		seq  uint64
+		root auth.Digest
+	}
+	tried := make(map[group]bool)
+	// Scan transfers in replica order for determinism, one adoption
+	// attempt per distinct (seq, root) group.
+	for id := uint32(0); id < uint32(r.cfg.N); id++ {
+		x, held := r.stateXfers[id]
+		if !held || x.manifest.Seq <= r.executed {
+			continue
+		}
+		g := group{x.manifest.Seq, x.manifest.Root}
+		if tried[g] {
+			continue
+		}
+		tried[g] = true
+		var matching []*stateXfer
+		var senders []uint32
+		for j := uint32(0); j < uint32(r.cfg.N); j++ {
+			if other, held := r.stateXfers[j]; held && other.manifest.Seq == g.seq && other.manifest.Root == g.root {
+				matching = append(matching, other)
+				senders = append(senders, j)
+			}
+		}
+		certVotes := 0
+		for _, d := range r.checkpoints[g.seq] {
+			if d == g.root {
+				certVotes++
+			}
+		}
+		if len(matching) < r.cfg.F+1 && certVotes < r.cfg.Quorum() {
+			continue
+		}
+		// Certified root. Assemble the full partition set: local
+		// partitions whose digests already match the manifest are reused
+		// as-is; the divergent ones must have arrived (from any matching
+		// sender — parts are interchangeable once verified against the
+		// same digest list).
+		manifest := matching[0].manifest
+		local := ps.PartitionDigests()
+		parts := make([][]byte, ps.PartitionCount())
+		complete := true
+		for i := range parts {
+			if i < len(local) && local[i] == manifest.Digests[i] {
+				parts[i] = ps.MarshalPartition(i)
+				continue
+			}
+			for _, cand := range matching {
+				if data, ok := cand.parts[i]; ok {
+					parts[i] = data
+					break
+				}
+			}
+			if parts[i] == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue // divergent partitions still streaming in
+		}
+		prev := ps.MarshalState()
+		if err := ps.ApplyTransfer(manifest.Header, parts); err != nil {
+			// Digest-verified partitions under a certified root that
+			// still fail to decode: the vouching senders colluded on a
+			// malformed encoding. Drop them and keep fetching.
+			for _, s := range senders {
+				r.rejectStateSender(s)
+			}
+			continue
+		}
+		if r.app.Snapshot() != g.root {
+			// Defense in depth (the composition rules make this
+			// unreachable for a conforming application): roll back.
+			if err := ps.UnmarshalState(prev); err != nil {
+				panic(fmt.Sprintf("pbft: replica %d failed to restore state after rejected transfer: %v", r.id, err))
+			}
+			for _, s := range senders {
+				r.rejectStateSender(s)
+			}
+			continue
+		}
+		view := r.view
+		if len(matching) >= r.cfg.F+1 {
+			view = minManifestView(matching)
+		}
+		// Retain the adopted checkpoint as a fresh base record so this
+		// replica can serve lagging peers in turn.
+		rec := &cpRecord{
+			applied: ps.Applied(),
+			header:  manifest.Header,
+			digests: manifest.Digests,
+			parts:   make(map[int][]byte, len(parts)),
+			base:    true,
+		}
+		for i, data := range parts {
+			rec.parts[i] = data
+		}
+		r.cps[g.seq] = rec
+		r.adoptCheckpoint(g.seq, g.root, view)
+		return true
+	}
+	return false
+}
+
+// minManifestView returns the smallest view among matching transfer
+// manifests (same conservatism as minResponseView).
+func minManifestView(matching []*stateXfer) uint64 {
+	min := matching[0].manifest.View
+	for _, x := range matching[1:] {
+		if x.manifest.View < min {
+			min = x.manifest.View
+		}
+	}
+	return min
 }
 
 // minResponseView returns the smallest view among matching responders:
@@ -1191,16 +1731,15 @@ func minResponseView(matching []StateResponse) uint64 {
 }
 
 // adoptCheckpoint installs a fetched stable checkpoint: the application
-// state is already restored; fast-forward the agreement bookkeeping.
-func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, state []byte, view uint64) {
+// state is already restored and the caller retained the serving copy
+// (full snapshot or base delta-chain record); fast-forward the agreement
+// bookkeeping.
+func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, view uint64) {
 	r.executed = seq
 	if r.seqNext < seq {
 		r.seqNext = seq
 	}
 	r.snapshots[seq] = d
-	stateCopy := make([]byte, len(state))
-	copy(stateCopy, state)
-	r.states[seq] = stateCopy
 	// Advertise the adopted checkpoint. When several replicas lagged
 	// together, the group's stable checkpoint stalled precisely because
 	// the laggards' votes were missing — this vote (plus the peers who
@@ -1240,11 +1779,15 @@ func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, state []byte, view 
 			delete(r.vcVotes, view)
 		}
 	}
-	r.advanceStable(seq) // also prunes stateVotes at or below seq
+	r.advanceStable(seq) // also prunes stateVotes/stateXfers at or below seq
 	r.stateFetching = false
 	if r.stateRetry != nil {
 		r.stateRetry.Cancel()
 	}
+	// A fresh transfer round starts from a clean slate: peers rejected
+	// for corrupt parts in this round get another chance next time (the
+	// reject counter keeps the permanent record).
+	r.stateBanned = make(map[uint32]bool)
 	r.stateTransfers++
 	if r.onCheckpointAdopt != nil {
 		r.onCheckpointAdopt(seq)

@@ -1,0 +1,78 @@
+package rubin_test
+
+import (
+	"math"
+	"testing"
+
+	"rubin/internal/metrics"
+)
+
+// TestStateSizeCheckedIn pins the headline claims of E12 against the
+// checked-in BENCH_E12.json: on both transports, (1) the incremental
+// checkpoint's steady serialization cost is sublinear in total state
+// size — it must grow by a far smaller factor than the state itself
+// across the prefill sweep — and (2) Merkle partial state transfer
+// recovers the restarted replica faster, and over fewer bytes, than the
+// legacy full-snapshot baseline at the largest prefill. If a change to
+// the kvstore partition layer, the checkpoint retention, or the
+// transfer protocol erodes either property, the regenerated file fails
+// here instead of silently shipping.
+func TestStateSizeCheckedIn(t *testing.T) {
+	res, err := metrics.ReadResultFile("BENCH_E12.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "E12" {
+		t.Fatalf("experiment %q, want E12", res.Experiment)
+	}
+	for _, transport := range []string{"rdma-rubin", "tcp-nio"} {
+		get := func(mode, metric string) *metrics.ResultSeries {
+			s := res.GetSeries(mode+" "+transport, metric)
+			if s == nil {
+				t.Fatalf("missing series (%s %s, %s)", mode, transport, metric)
+			}
+			if len(s.Points) < 2 {
+				t.Fatalf("series (%s %s, %s) has %d points, want a sweep", mode, transport, metric, len(s.Points))
+			}
+			return s
+		}
+		// The prefill sweep endpoints, from the series itself.
+		cp := get("partial", metrics.MetricCheckpointBytes)
+		small, large := cp.Points[0].X, cp.Points[len(cp.Points)-1].X
+		if large < small*4 {
+			t.Fatalf("%s: prefill sweep %v..%v spans < 4x — sublinearity unmeasurable", transport, small, large)
+		}
+
+		// (1) Sublinear incremental checkpoint cost: across a state-size
+		// growth of large/small, steady checkpoint bytes must grow by at
+		// most a quarter of the state-growth factor.
+		state := get("partial", metrics.MetricStateBytes)
+		stateGrowth := state.At(large) / state.At(small)
+		cpGrowth := cp.At(large) / cp.At(small)
+		if math.IsNaN(stateGrowth) || stateGrowth < 2 {
+			t.Fatalf("%s: state grew only %.1fx across the sweep", transport, stateGrowth)
+		}
+		if cpGrowth > stateGrowth/4 {
+			t.Errorf("%s: steady checkpoint bytes grew %.2fx while state grew %.1fx — not sublinear",
+				transport, cpGrowth, stateGrowth)
+		}
+
+		// (2) Partial beats full at the largest prefill: faster recovery
+		// over fewer transferred bytes.
+		for _, metric := range []string{metrics.MetricRecoveryTime, metrics.MetricTransferBytes} {
+			p, f := get("partial", metric).At(large), get("full", metric).At(large)
+			if math.IsNaN(p) || math.IsNaN(f) || p <= 0 || f <= 0 {
+				t.Fatalf("%s: %s missing a point at prefill=%v", transport, metric, large)
+			}
+			if p >= f {
+				t.Errorf("%s: partial %s %.0f not below full %.0f at prefill=%v", transport, metric, p, f, large)
+			}
+		}
+		// The full baseline's checkpoint cost grows with state — the
+		// contrast that makes (1) meaningful rather than vacuous.
+		fullCp := get("full", metrics.MetricCheckpointBytes)
+		if g := fullCp.At(large) / fullCp.At(small); g < stateGrowth/2 {
+			t.Errorf("%s: full-mode checkpoint bytes grew only %.2fx vs state %.1fx — baseline lost its contrast", transport, g, stateGrowth)
+		}
+	}
+}
