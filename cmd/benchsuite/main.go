@@ -1,4 +1,5 @@
-// Command benchsuite runs any subset of the registered experiments E1–E12
+// Command benchsuite runs any subset of the registered experiments
+// (E1–E12 and ALLOC)
 // and writes one machine-readable BENCH_<name>.json per experiment, so the
 // repository's benchmark trajectory can be recorded and diffed PR over PR.
 //
@@ -57,7 +58,7 @@ func (k knobFlags) Set(s string) error {
 }
 
 func main() {
-	experiments := flag.String("experiments", "all", "comma-separated experiment names (E1..E12) or 'all'")
+	experiments := flag.String("experiments", "all", "comma-separated experiment names (E1..E12, ALLOC) or 'all'")
 	out := flag.String("out", ".", "directory to write BENCH_<name>.json files into")
 	quick := flag.Bool("quick", false, "shrink sweeps and message counts (CI smoke mode)")
 	seed := flag.Int64("seed", 1, "simulation seed")

@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"rubin/internal/model"
 	"rubin/internal/sim"
@@ -35,9 +36,22 @@ func (d Digest) Short() string { return fmt.Sprintf("%x", d[:6]) }
 
 // Keyring holds one replica's pairwise keys with every other replica.
 // Keyring[i][j] == Keyring[j][i] across the matching ring instances.
+//
+// A keyring is single-goroutine state (everything in this repository runs
+// on one sim loop): the HMAC states and sum scratches below make MAC and
+// Verify allocation-free steady-state at the price of not being safe for
+// concurrent use.
 type Keyring struct {
 	self int
 	keys []Key
+
+	// macs caches one HMAC-SHA256 state per peer, created on first use
+	// and Reset-reused afterwards. sum backs MAC's return value; vsum
+	// backs the expected-MAC computation inside Verify, so verifying
+	// does not clobber a caller-held MAC result.
+	macs []hash.Hash
+	sum  [MACSize]byte
+	vsum [MACSize]byte
 }
 
 // GenerateKeyrings deterministically derives the full pairwise key matrix
@@ -50,19 +64,22 @@ func GenerateKeyrings(n int, seed uint64) []*Keyring {
 	}
 	rings := make([]*Keyring, n)
 	for i := range rings {
-		rings[i] = &Keyring{self: i, keys: make([]Key, n)}
+		rings[i] = &Keyring{self: i, keys: make([]Key, n), macs: make([]hash.Hash, n)}
 	}
 	var seedBytes [8]byte
 	binary.BigEndian.PutUint64(seedBytes[:], seed)
+	// Every pair derives under the same seed key, so one Reset-reused
+	// HMAC state serves the whole matrix.
+	mac := hmac.New(sha256.New, seedBytes[:])
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			mac := hmac.New(sha256.New, seedBytes[:])
+			mac.Reset()
 			var pair [16]byte
 			binary.BigEndian.PutUint64(pair[:8], uint64(i))
 			binary.BigEndian.PutUint64(pair[8:], uint64(j))
 			mac.Write(pair[:])
 			var k Key
-			copy(k[:], mac.Sum(nil))
+			mac.Sum(k[:0])
 			rings[i].keys[j] = k
 			rings[j].keys[i] = k
 		}
@@ -76,19 +93,39 @@ func (kr *Keyring) Self() int { return kr.self }
 // N returns the number of replicas covered.
 func (kr *Keyring) N() int { return len(kr.keys) }
 
-// MAC computes the HMAC of msg under the pairwise key with peer.
-func (kr *Keyring) MAC(peer int, msg []byte) []byte {
-	m := hmac.New(sha256.New, kr.keys[peer][:])
-	m.Write(msg)
-	return m.Sum(nil)
+// state returns peer's Reset HMAC state, creating it on first use.
+func (kr *Keyring) state(peer int) hash.Hash {
+	m := kr.macs[peer]
+	if m == nil {
+		m = hmac.New(sha256.New, kr.keys[peer][:])
+		kr.macs[peer] = m
+		return m
+	}
+	m.Reset()
+	return m
 }
 
-// Verify checks a MAC received from peer.
+// MAC computes the HMAC of msg under the pairwise key with peer.
+//
+// The returned slice aliases a per-keyring scratch buffer: it is valid
+// only until the next MAC or Authenticate call on this keyring. Callers
+// that retain the value past that point must copy it (Authenticate
+// already returns stable copies).
+func (kr *Keyring) MAC(peer int, msg []byte) []byte {
+	m := kr.state(peer)
+	m.Write(msg)
+	return m.Sum(kr.sum[:0])
+}
+
+// Verify checks a MAC received from peer. It uses its own scratch, so a
+// slice previously returned by MAC stays intact across Verify calls.
 func (kr *Keyring) Verify(peer int, msg, mac []byte) bool {
 	if peer < 0 || peer >= len(kr.keys) || peer == kr.self {
 		return false
 	}
-	return hmac.Equal(kr.MAC(peer, msg), mac)
+	m := kr.state(peer)
+	m.Write(msg)
+	return hmac.Equal(m.Sum(kr.vsum[:0]), mac)
 }
 
 // Authenticator is a vector of MACs, one per replica (the sender's own
@@ -97,13 +134,22 @@ func (kr *Keyring) Verify(peer int, msg, mac []byte) bool {
 type Authenticator [][]byte
 
 // Authenticate builds the authenticator for msg toward all n replicas.
+// The entries do not alias the MAC scratch — they share one fresh backing
+// array sized for the whole vector (two allocations total), so a returned
+// authenticator stays valid indefinitely.
 func (kr *Keyring) Authenticate(msg []byte) Authenticator {
-	a := make(Authenticator, len(kr.keys))
-	for peer := range kr.keys {
+	n := len(kr.keys)
+	a := make(Authenticator, n)
+	buf := make([]byte, 0, (n-1)*MACSize)
+	for peer := 0; peer < n; peer++ {
 		if peer == kr.self {
 			continue
 		}
-		a[peer] = kr.MAC(peer, msg)
+		m := kr.state(peer)
+		m.Write(msg)
+		start := len(buf)
+		buf = m.Sum(buf)
+		a[peer] = buf[start:len(buf):len(buf)]
 	}
 	return a
 }

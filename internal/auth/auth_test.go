@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"rubin/internal/model"
+	"rubin/internal/raceflag"
 )
 
 func TestPairwiseKeysAreSymmetricAndDistinct(t *testing.T) {
@@ -186,6 +187,58 @@ func TestPropertyAuthenticatorSoundness(t *testing.T) {
 	}
 }
 
+// The MAC scratch contract: Verify must not clobber a held MAC result,
+// and a second MAC call on the same keyring overwrites the first.
+func TestMACScratchAliasing(t *testing.T) {
+	rings := GenerateKeyrings(3, 5)
+	msg := []byte("aliasing probe")
+	mac := rings[0].MAC(1, msg)
+	want := bytes.Clone(mac)
+	rings[0].Verify(2, msg, want) // any Verify; must leave mac intact
+	if !bytes.Equal(mac, want) {
+		t.Fatal("Verify clobbered a held MAC result")
+	}
+	rings[0].MAC(2, msg)
+	if bytes.Equal(mac, want) {
+		t.Fatal("second MAC did not reuse the scratch — pooled state regressed?")
+	}
+}
+
+func TestAuthenticatorEntriesAreStable(t *testing.T) {
+	rings := GenerateKeyrings(4, 6)
+	msg := []byte("stable entries")
+	a := rings[0].Authenticate(msg)
+	want := bytes.Clone(a[1])
+	// Later MACs and authenticators must not mutate the earlier vector.
+	rings[0].MAC(1, []byte("other"))
+	rings[0].Authenticate([]byte("another"))
+	if !bytes.Equal(a[1], want) {
+		t.Fatal("Authenticate entries alias the MAC scratch")
+	}
+}
+
+func TestMACVerifySteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is meaningless under the race detector")
+	}
+	rings := GenerateKeyrings(4, 7)
+	msg := make([]byte, 4096)
+	mac := bytes.Clone(rings[0].MAC(1, msg)) // warm up peer-1 state
+	rings[1].Verify(0, msg, mac)             // warm up verifier state
+	if avg := testing.AllocsPerRun(200, func() { rings[0].MAC(1, msg) }); avg > 0 {
+		t.Fatalf("MAC allocates %.1f/op steady-state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { rings[1].Verify(0, msg, mac) }); avg > 0 {
+		t.Fatalf("Verify allocates %.1f/op steady-state, want 0", avg)
+	}
+	// Authenticate returns stable copies, so it pays exactly two
+	// allocations: the vector and its shared backing array.
+	rings[0].Authenticate(msg)
+	if avg := testing.AllocsPerRun(200, func() { rings[0].Authenticate(msg) }); avg > 2 {
+		t.Fatalf("Authenticate allocates %.1f/op steady-state, want <=2", avg)
+	}
+}
+
 func TestGenerateKeyringsPanicsOnZero(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -203,7 +256,9 @@ func TestMACVerifyNegativeTable(t *testing.T) {
 	rings := GenerateKeyrings(4, 21)
 	otherDeployment := GenerateKeyrings(4, 22) // same shape, different seed
 	msg := []byte("prepare v3 n41")
-	valid := rings[0].MAC(1, msg)
+	// MAC's result aliases the keyring scratch; clone because rings[0]
+	// computes another MAC below while this one is still in use.
+	valid := bytes.Clone(rings[0].MAC(1, msg))
 	cases := []struct {
 		name     string
 		receiver *Keyring

@@ -68,6 +68,10 @@ const (
 	MetricTransferBytes   = "transfer_bytes"   // unit: bytes (state bytes served by responders)
 	MetricStateBytes      = "state_bytes"      // unit: bytes (full snapshot size at run end)
 	MetricThroughputDip   = "throughput_dip"   // unit: ratio (recovered-phase / healthy throughput)
+
+	// Hot-path efficiency metric exported by ALLOC (testing.AllocsPerRun
+	// over the msgnet/auth/sim fast paths).
+	MetricAllocsPerOp = "allocs_per_op" // unit: allocs/op (steady-state heap allocations)
 )
 
 // ResultSeries is one named curve of an experiment result: points share an
@@ -187,7 +191,9 @@ func (r *Result) GetSeries(name, metric string) *ResultSeries {
 	return nil
 }
 
-var experimentNameRE = regexp.MustCompile(`^E[0-9]+$`)
+// Experiment names are either figure-style ("E1".."E12") or an
+// upper-case tag for harness-level studies ("ALLOC").
+var experimentNameRE = regexp.MustCompile(`^(E[0-9]+|[A-Z]{2,12})$`)
 
 // Validate checks the result against the documented schema (see
 // docs/EXPERIMENTS.md): version match, well-formed experiment name,

@@ -43,15 +43,24 @@ func encodeWhole(class Class, msg []byte) []byte {
 	return out
 }
 
+// putChunkHeader writes a chunk header in place into the first
+// chunkHeaderLen bytes of f. The hot path pre-lays chunk frames out in
+// the send buffer and fills each header here just before the frame hits
+// the substrate, so no per-chunk copy or allocation happens.
+func putChunkHeader(f []byte, class Class, stream uint64, index, count uint32, digest, prev auth.Digest) {
+	f[0] = frameChunk
+	f[1] = byte(class)
+	binary.BigEndian.PutUint64(f[2:], stream)
+	binary.BigEndian.PutUint32(f[10:], index)
+	binary.BigEndian.PutUint32(f[14:], count)
+	copy(f[18:], digest[:])
+	copy(f[18+auth.DigestSize:], prev[:])
+}
+
 func encodeChunk(class Class, stream uint64, index, count uint32, digest, prev auth.Digest, payload []byte) []byte {
-	out := make([]byte, 0, chunkHeaderLen+len(payload))
-	out = append(out, frameChunk, byte(class))
-	out = binary.BigEndian.AppendUint64(out, stream)
-	out = binary.BigEndian.AppendUint32(out, index)
-	out = binary.BigEndian.AppendUint32(out, count)
-	out = append(out, digest[:]...)
-	out = append(out, prev[:]...)
-	out = append(out, payload...)
+	out := make([]byte, chunkHeaderLen+len(payload))
+	putChunkHeader(out, class, stream, index, count, digest, prev)
+	copy(out[chunkHeaderLen:], payload)
 	return out
 }
 

@@ -137,6 +137,11 @@ type Mesh struct {
 	opts   Options
 	peers  []*Peer
 	tracer *obs.Tracer
+
+	// Free lists shared by this mesh's peers (see pool.go): frame
+	// buffers classed by power-of-two capacity, and send-queue items.
+	bufFree  [bufClasses][][]byte
+	itemFree []*outItem
 }
 
 // NewMesh opens a messaging endpoint of the requested backend kind on a
@@ -244,6 +249,7 @@ func (m *Mesh) wrap(conn transport.Conn, outbound bool) *Peer {
 		outbound: outbound,
 		streams:  make(map[uint64]*inStream),
 	}
+	p.pumpFn = p.pump
 	conn.OnMessage(p.dispatch)
 	conn.OnClose(p.connClosed)
 	conn.OnDrain(p.substrateDrained)

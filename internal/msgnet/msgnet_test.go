@@ -9,6 +9,7 @@ import (
 	"rubin/internal/auth"
 	"rubin/internal/fabric"
 	"rubin/internal/model"
+	"rubin/internal/raceflag"
 	"rubin/internal/sim"
 	"rubin/internal/transport"
 )
@@ -364,6 +365,200 @@ func TestBackpressureWatermarks(t *testing.T) {
 	}
 	if p.ab.QueueBytes() != 0 || p.ab.QueueDepth() != 0 {
 		t.Errorf("queue not drained: %d bytes / %d frames", p.ab.QueueBytes(), p.ab.QueueDepth())
+	}
+}
+
+// probePeer wires a peer over an inert substrate so tests can inspect
+// queue state between scheduler turns without a remote end.
+func probePeer(opts Options) (*sim.Loop, *Peer) {
+	loop := sim.NewLoop(1)
+	nw := fabric.New(loop, model.Default())
+	node := nw.AddNode("probe")
+	m := &Mesh{node: node, kind: transport.KindTCP, opts: opts}
+	return loop, m.wrap(&nullConn{remote: node}, true)
+}
+
+// TestQueueBytesFramedAccounting pins the send-queue accounting to
+// on-wire framed bytes on both sides of the chunk boundary: a whole
+// message charges its header, a chunked message charges one chunk header
+// per chunk, and draining one frame releases exactly that frame's bytes.
+// (The old accounting mixed units: whole messages counted framed bytes
+// while chunked messages counted the bare payload, so admission and the
+// peak series disagreed across the boundary.)
+func TestQueueBytesFramedAccounting(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Burst = 1
+	chunk := opts.chunkPayload()
+	maxWhole := opts.maxWhole()
+
+	loop, p := probePeer(opts)
+	// Largest unchunked message: framed = payload + whole header.
+	if err := p.Send(ClassControl, pattern(maxWhole, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.QueueBytes(), maxWhole+wholeHeaderLen; got != want {
+		t.Fatalf("whole at boundary: queueBytes = %d, want %d", got, want)
+	}
+	loop.Run()
+	if p.QueueBytes() != 0 {
+		t.Fatalf("queue not drained: %d bytes", p.QueueBytes())
+	}
+
+	// One byte past the boundary: two chunks, two chunk headers.
+	size := maxWhole + 1
+	if err := p.Send(ClassBulk, pattern(size, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.QueueBytes(), size+2*chunkHeaderLen; got != want {
+		t.Fatalf("chunked past boundary: queueBytes = %d, want %d", got, want)
+	}
+	if p.QueueDepth() != 2 {
+		t.Fatalf("queue depth = %d frames, want 2", p.QueueDepth())
+	}
+	// One scheduler turn emits one full chunk frame (Burst=1): the queue
+	// must release header+payload for that frame, not the payload alone.
+	loop.Step()
+	if got, want := p.QueueBytes(), size+2*chunkHeaderLen-(chunkHeaderLen+chunk); got != want {
+		t.Fatalf("after one chunk: queueBytes = %d, want %d", got, want)
+	}
+	loop.Run()
+	if p.QueueBytes() != 0 || p.QueueDepth() != 0 {
+		t.Fatalf("queue not drained: %d bytes / %d frames", p.QueueBytes(), p.QueueDepth())
+	}
+}
+
+// TestBacklogThenCloseSurfacesAndClearsSuspension is the audit half of
+// the suspended flag: a peer that hits ErrBacklog exactly as its
+// connection dies must surface every queued message through OnSendError
+// and OnClose — and must not fire OnWritable or stay flagged suspended,
+// silently waiting for a drain edge that can never come.
+func TestBacklogThenCloseSurfacesAndClearsSuspension(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxQueueBytes = 5 << 10 // fits two 2 KiB messages, rejects the third
+	opts.LowWaterBytes = 1 << 10
+	_, p := probePeer(opts) // loop never runs: the queue stays full
+	sendErrs, closes, writables := 0, 0, 0
+	p.OnSendError(func(error) { sendErrs++ })
+	p.OnClose(func() { closes++ })
+	p.OnWritable(func() { writables++ })
+
+	msg := pattern(2<<10, 7)
+	if err := p.Send(ClassControl, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(ClassControl, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(ClassControl, msg); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("third send: %v, want ErrBacklog", err)
+	}
+	if !p.suspended {
+		t.Fatal("rejected send did not suspend the peer")
+	}
+	p.connClosed()
+	if sendErrs != 2 {
+		t.Errorf("OnSendError fired %d times, want 2 (one per queued message)", sendErrs)
+	}
+	if closes != 1 {
+		t.Errorf("OnClose fired %d times, want 1", closes)
+	}
+	if writables != 0 {
+		t.Errorf("OnWritable fired %d times on a dead peer, want 0", writables)
+	}
+	if p.suspended {
+		t.Error("suspended flag wedged on after close")
+	}
+	if p.QueueBytes() != 0 || p.QueueDepth() != 0 {
+		t.Errorf("queue not cleared: %d bytes / %d frames", p.QueueBytes(), p.QueueDepth())
+	}
+}
+
+// TestBacklogDrainResume closes the loop on the recovery path: backlog,
+// drain to the low watermark, OnWritable, and a successful follow-up Send
+// that actually delivers.
+func TestBacklogDrainResume(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxQueueBytes = 8 << 10
+	opts.LowWaterBytes = 2 << 10
+	opts.Burst = 1
+	opts.SubstrateBacklog = 1
+	p := newPair(t, transport.KindTCP, opts)
+	delivered := 0
+	p.ba.OnMessage(func(Class, []byte) { delivered++ })
+	resumed := false
+	p.ab.OnWritable(func() {
+		resumed = true
+		if err := p.ab.Send(ClassControl, pattern(64, 9)); err != nil {
+			t.Errorf("send after OnWritable: %v", err)
+		}
+	})
+	accepted := 0
+	msg := pattern(1<<10, 5)
+	for i := 0; i < 32; i++ {
+		if err := p.ab.Send(ClassControl, msg); err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrBacklog) {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if accepted == 32 {
+		t.Fatal("never hit the high watermark")
+	}
+	p.loop.Run()
+	if !resumed {
+		t.Fatal("OnWritable never fired after drain")
+	}
+	if delivered != accepted+1 {
+		t.Fatalf("delivered %d, want %d accepted + 1 resumed", delivered, accepted)
+	}
+}
+
+// TestPooledBufferReuseKeepsPayloadsIntact sends a train of chunked and
+// whole messages through the same peer so every later message rides a
+// recycled buffer: payloads must survive byte-for-byte, proving frames
+// are not recycled while the substrate still needs them.
+func TestPooledBufferReuseKeepsPayloadsIntact(t *testing.T) {
+	for _, kind := range kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			p := newPair(t, kind, DefaultOptions())
+			var recv [][]byte
+			p.ba.OnMessage(func(_ Class, m []byte) {
+				recv = append(recv, bytes.Clone(m))
+			})
+			sizes := []int{1 << 20, 100, 600_000, 1 << 20, 0, 300_000}
+			p.loop.Post(func() {
+				for i, n := range sizes {
+					if err := p.ab.Send(ClassBulk, pattern(n, byte(i))); err != nil {
+						t.Errorf("send %d: %v", i, err)
+					}
+				}
+			})
+			p.loop.Run()
+			if len(recv) != len(sizes) {
+				t.Fatalf("delivered %d of %d messages", len(recv), len(sizes))
+			}
+			for i, n := range sizes {
+				if !bytes.Equal(recv[i], pattern(n, byte(i))) {
+					t.Errorf("message %d (%d bytes) corrupted by buffer reuse", i, n)
+				}
+			}
+		})
+	}
+}
+
+// TestSendAllocsSteadyState pins the hot-path allocation bounds: a whole
+// message Send plus its scheduler turn at most 1 allocation (0 with the
+// pools warm), and the chunked path flat as well.
+func TestSendAllocsSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is meaningless under the race detector")
+	}
+	if avg := SendAllocsPerOp(200, 1<<10); avg > 1 {
+		t.Errorf("whole-message Send allocates %.1f/op, want <=1", avg)
+	}
+	if avg := SendAllocsPerOp(50, 600_000); avg > 2 {
+		t.Errorf("chunked Send allocates %.1f/op, want <=2", avg)
 	}
 }
 

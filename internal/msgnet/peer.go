@@ -9,16 +9,18 @@ import (
 	"rubin/internal/transport"
 )
 
-// outItem is one accepted message waiting in a class queue. count==0
-// marks a whole-frame message whose msg is already the encoded frame;
-// otherwise msg is the raw payload, emitted as count digest-chained
-// chunks with index/offset/prev tracking the emission cursor.
+// outItem is one accepted message waiting in a class queue. msg is a
+// pooled buffer already laid out as the message's wire frames: one whole
+// frame (count==0), or count digest-chained chunk frames back to back,
+// payload in place and headers filled in at emission time (the digest
+// chain is only known then). index/prev track the emission cursor. The
+// buffer and the item return to the mesh pool once the substrate has
+// accepted the last frame.
 type outItem struct {
 	msg    []byte
 	stream uint64
 	count  uint32
 	index  uint32
-	offset int
 	prev   auth.Digest
 
 	// Set only while span recording is on: the enqueue instant, so the
@@ -26,6 +28,39 @@ type outItem struct {
 	traced bool
 	enqAt  sim.Time
 }
+
+// classQueue is one class's FIFO of queued items. Pops advance a head
+// index instead of re-slicing, and the backing array resets once the
+// queue drains — so steady-state queuing allocates nothing.
+type classQueue struct {
+	items []*outItem
+	head  int
+}
+
+func (q *classQueue) push(it *outItem) { q.items = append(q.items, it) }
+
+func (q *classQueue) peek() *outItem {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *classQueue) pop() *outItem {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	it := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return it
+}
+
+func (q *classQueue) len() int { return len(q.items) - q.head }
 
 // inStream is the reassembly state of one inbound chunked message.
 type inStream struct {
@@ -50,8 +85,11 @@ type Peer struct {
 	inbox   []inboxEntry
 	streams map[uint64]*inStream
 
-	// Send scheduling.
-	queues      [numClasses][]*outItem
+	// Send scheduling. queueBytes counts on-wire framed bytes (headers
+	// included) for every queued frame, so admission, watermarks and the
+	// peak series all speak the same unit. pumpFn is the pump bound once
+	// at creation so arming does not allocate a method value per turn.
+	queues      [numClasses]classQueue
 	cursor      int
 	queueBytes  int
 	queueFrames int
@@ -59,6 +97,7 @@ type Peer struct {
 	waitDrain   bool
 	suspended   bool // a Send was rejected; OnWritable pending
 	nextStream  uint64
+	pumpFn      func()
 
 	// Error surface and stats.
 	onClose        func()
@@ -160,32 +199,51 @@ func (p *Peer) Send(class Class, msg []byte) error {
 	if len(msg) > p.mesh.opts.MaxTransfer {
 		return p.sendFail(fmt.Errorf("%w: %d bytes", ErrTooBig, len(msg)))
 	}
-	if p.queueBytes > 0 && p.queueBytes+len(msg) > p.mesh.opts.MaxQueueBytes {
+	// framed is the total on-wire size this message will occupy, headers
+	// included — whole frames pay wholeHeaderLen, chunked messages pay
+	// one chunkHeaderLen per chunk.
+	var count uint32
+	framed := wholeHeaderLen + len(msg)
+	if len(msg) > p.mesh.opts.maxWhole() {
+		chunk := p.mesh.opts.chunkPayload()
+		count = uint32((len(msg) + chunk - 1) / chunk)
+		framed = len(msg) + int(count)*chunkHeaderLen
+	}
+	if p.queueBytes > 0 && p.queueBytes+framed > p.mesh.opts.MaxQueueBytes {
 		p.suspended = true
 		return p.sendFail(fmt.Errorf("%w: %d bytes queued", ErrBacklog, p.queueBytes))
 	}
 	// The queue may outlive the caller's buffer by many events, so the
-	// item owns a copy — for whole messages the copy IS the encoded
-	// frame, so the hot path pays exactly one allocation.
-	it := &outItem{}
-	if len(msg) > p.mesh.opts.maxWhole() {
-		owned := make([]byte, len(msg))
-		copy(owned, msg)
-		it.msg = owned
+	// item owns a copy — a pooled buffer pre-laid-out as the wire frames
+	// themselves, so the pump slices frames out instead of re-encoding
+	// and a steady-state Send allocates nothing.
+	it := p.mesh.getItem()
+	it.msg = p.mesh.getBuf(framed)
+	if count > 0 {
 		chunk := p.mesh.opts.chunkPayload()
-		it.count = uint32((len(owned) + chunk - 1) / chunk)
+		stride := chunkHeaderLen + chunk
+		for i := 0; i*chunk < len(msg); i++ {
+			end := (i + 1) * chunk
+			if end > len(msg) {
+				end = len(msg)
+			}
+			copy(it.msg[i*stride+chunkHeaderLen:], msg[i*chunk:end])
+		}
+		it.count = count
 		it.stream = p.nextStream
 		p.nextStream++
-		p.queueFrames += int(it.count)
+		p.queueFrames += int(count)
 	} else {
-		it.msg = encodeWhole(class, msg)
+		it.msg[0] = frameWhole
+		it.msg[1] = byte(class)
+		copy(it.msg[wholeHeaderLen:], msg)
 		p.queueFrames++
 	}
 	if p.mesh.tracer.SpansEnabled() {
 		it.traced, it.enqAt = true, p.mesh.node.Loop().Now()
 	}
-	p.queues[class] = append(p.queues[class], it)
-	p.queueBytes += len(it.msg)
+	p.queues[class].push(it)
+	p.queueBytes += framed
 	if p.queueBytes > p.peakQueueBytes {
 		p.peakQueueBytes = p.queueBytes
 	}
@@ -206,7 +264,7 @@ func (p *Peer) arm() {
 		return
 	}
 	p.pumpArmed = true
-	p.mesh.node.Loop().Post(p.pump)
+	p.mesh.node.Loop().Post(p.pumpFn)
 }
 
 // pump releases up to Burst frames to the substrate, round-robining the
@@ -223,11 +281,20 @@ func (p *Peer) pump() {
 			p.waitDrain = true
 			return
 		}
-		f, ok := p.nextFrame()
+		f, fin, ok := p.nextFrame()
 		if !ok {
 			break
 		}
-		if err := p.conn.Send(f); err != nil {
+		err := p.conn.Send(f)
+		if fin != nil {
+			// Both substrates copy what they need inside Send (see the
+			// buffer-ownership rules in docs/ARCHITECTURE.md), so the
+			// completed item's buffer recycles immediately — even when
+			// the send failed.
+			p.mesh.putBuf(fin.msg)
+			p.mesh.putItem(fin)
+		}
+		if err != nil {
 			p.asyncSendFail(err)
 			return
 		}
@@ -238,44 +305,51 @@ func (p *Peer) pump() {
 	p.signalWritable()
 }
 
-// nextFrame pops the next frame in class round-robin order: one whole
-// message or one chunk of the head-of-line chunked message.
-func (p *Peer) nextFrame() ([]byte, bool) {
+// nextFrame returns the next frame in class round-robin order: one whole
+// message or one chunk of the head-of-line chunked message. Every frame
+// is a slice of the item's owned buffer — chunk headers are filled in
+// place here, where the digest chain is known. fin is non-nil when this
+// frame completes its message: the caller recycles fin's buffer and item
+// once the substrate send returns. queueBytes drops by exactly the frame
+// length, mirroring the framed-byte admission accounting.
+func (p *Peer) nextFrame() (f []byte, fin *outItem, ok bool) {
 	for i := 0; i < numClasses; i++ {
 		cls := (p.cursor + i) % numClasses
-		q := p.queues[cls]
-		if len(q) == 0 {
+		q := &p.queues[cls]
+		it := q.peek()
+		if it == nil {
 			continue
 		}
 		p.cursor = (cls + 1) % numClasses
-		it := q[0]
 		p.queueFrames--
 		if it.count == 0 {
-			// it.msg is already the encoded whole frame.
-			p.queues[cls] = q[1:]
+			q.pop()
 			p.queueBytes -= len(it.msg)
 			p.traceDequeue(it, Class(cls))
-			return it.msg, true
+			return it.msg, it, true
 		}
-		end := it.offset + p.mesh.opts.chunkPayload()
+		stride := chunkHeaderLen + p.mesh.opts.chunkPayload()
+		start := int(it.index) * stride
+		end := start + stride
 		if end > len(it.msg) {
 			end = len(it.msg)
 		}
-		payload := it.msg[it.offset:end]
+		f = it.msg[start:end]
+		payload := f[chunkHeaderLen:]
 		p.chargeDigest(len(payload))
 		digest := auth.Hash(payload)
-		f := encodeChunk(Class(cls), it.stream, it.index, it.count, digest, it.prev, payload)
+		putChunkHeader(f, Class(cls), it.stream, it.index, it.count, digest, it.prev)
 		it.index++
-		it.offset = end
 		it.prev = digest
-		p.queueBytes -= len(payload)
+		p.queueBytes -= len(f)
 		if it.index == it.count {
-			p.queues[cls] = q[1:]
+			q.pop()
 			p.traceDequeue(it, Class(cls))
+			fin = it
 		}
-		return f, true
+		return f, fin, true
 	}
-	return nil, false
+	return nil, nil, false
 }
 
 // traceDequeue emits the send-queue-wait span of a fully dequeued item.
@@ -333,11 +407,25 @@ func (p *Peer) connClosed() {
 	p.closed = true
 	dropped := 0
 	for cls := range p.queues {
-		dropped += len(p.queues[cls])
-		p.queues[cls] = nil
+		q := &p.queues[cls]
+		dropped += q.len()
+		for {
+			it := q.pop()
+			if it == nil {
+				break
+			}
+			p.mesh.putBuf(it.msg)
+			p.mesh.putItem(it)
+		}
 	}
 	p.queueBytes = 0
 	p.queueFrames = 0
+	// A Send rejected at the high watermark leaves suspended set, waiting
+	// for a drain edge that will never come on a dead connection. Clear
+	// it: the failure surfaces through the per-message send errors below
+	// and OnClose — OnWritable must never fire on a closed peer, and a
+	// wedged flag must not linger either.
+	p.suspended = false
 	p.streams = make(map[uint64]*inStream)
 	if dropped > 0 {
 		p.sendErrs += uint64(dropped)

@@ -33,6 +33,7 @@ type Client struct {
 	id    uint32
 	f     int
 	conns map[uint32]*msgnet.Peer
+	order []uint32 // attached replica ids, ascending; broadcast send order
 	next  uint64
 
 	pending map[uint64]*invocation
@@ -68,7 +69,7 @@ type readInvocation struct {
 	key     string
 	replies map[uint32]readReplyVote // replica -> first vote (equivocation-proof)
 	done    func(result []byte)
-	timer   *sim.Timer
+	timer   sim.Timer
 	fired   bool
 }
 
@@ -124,6 +125,10 @@ func (c *Client) FastReadFallbacks() uint64 { return c.fastFallbacks }
 // AttachReplica wires the msgnet peer to one replica and consumes
 // replies.
 func (c *Client) AttachReplica(id uint32, p *msgnet.Peer) {
+	if _, seen := c.conns[id]; !seen {
+		c.order = append(c.order, id)
+		sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	}
 	c.conns[id] = p
 	p.OnSendError(func(error) { c.sendErrs++ })
 	p.OnMessage(func(_ msgnet.Class, raw []byte) {
@@ -182,15 +187,11 @@ func (c *Client) InvokeRead(op []byte, done func(result []byte)) string {
 }
 
 // broadcast sends one encoded client message to every attached replica in
-// deterministic id order (keeps simulations reproducible).
+// deterministic id order (keeps simulations reproducible). The order is
+// precomputed at attach time so the per-invocation path does not allocate.
 func (c *Client) broadcast(raw []byte) {
-	ids := make([]int, 0, len(c.conns))
-	for id := range c.conns {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		p := c.conns[uint32(id)]
+	for _, id := range c.order {
+		p := c.conns[id]
 		if p == nil {
 			c.sendErrs++
 			continue

@@ -224,7 +224,7 @@ type Replica struct {
 	stateVotes     map[uint32]StateResponse
 	stateFetching  bool
 	stateTarget    uint64
-	stateRetry     *sim.Timer
+	stateRetry     sim.Timer
 	stateTransfers uint64
 
 	// Partial-transfer fetch state: one in-progress transfer per
@@ -253,7 +253,7 @@ type Replica struct {
 	// Leader batching.
 	pending    []Request
 	proposed   map[string]bool // request keys already assigned a slot
-	batchTimer *sim.Timer
+	batchTimer sim.Timer
 
 	// requestStore remembers every known-but-unexecuted request so a
 	// new leader can re-propose work the old leader dropped.
@@ -263,7 +263,7 @@ type Replica struct {
 	replyCache map[uint32]Reply
 
 	// Liveness: per-request timers and view-change state.
-	reqTimers    map[string]*sim.Timer
+	reqTimers    map[string]sim.Timer
 	viewChanging bool
 	vcVotes      map[uint64]map[uint32]ViewChange
 
@@ -279,6 +279,10 @@ type Replica struct {
 	// sendFaults counts every surfaced delivery failure on this
 	// replica's outbound traffic — nothing is silently discarded.
 	sendFaults *metrics.Counter
+
+	// peerIDScratch backs peerIDs so per-broadcast id collection does not
+	// allocate; consumers use the slice synchronously.
+	peerIDScratch []uint32
 }
 
 // NewReplica builds a replica. Connections are attached afterwards with
@@ -307,7 +311,7 @@ func NewReplica(id uint32, cfg Config, node *fabric.Node, keyring *auth.Keyring,
 		stateRejects: metrics.NewCounter(),
 		proposed:     make(map[string]bool),
 		replyCache:   make(map[uint32]Reply),
-		reqTimers:    make(map[string]*sim.Timer),
+		reqTimers:    make(map[string]sim.Timer),
 		vcVotes:      make(map[uint64]map[uint32]ViewChange),
 		requestStore: make(map[string]Request),
 		sendFaults:   metrics.NewCounter(),
@@ -404,16 +408,12 @@ func (r *Replica) SetFaults(f Faults) { r.faults = f }
 // loses all volatile state.
 func (r *Replica) Stop() {
 	r.stopped = true
-	if r.batchTimer != nil {
-		r.batchTimer.Cancel()
-	}
+	r.batchTimer.Cancel()
 	for _, t := range r.reqTimers {
 		t.Cancel()
 	}
-	r.reqTimers = make(map[string]*sim.Timer)
-	if r.stateRetry != nil {
-		r.stateRetry.Cancel()
-	}
+	r.reqTimers = make(map[string]sim.Timer)
+	r.stateRetry.Cancel()
 }
 
 // OnExecute installs a hook invoked after each executed batch.
@@ -543,14 +543,17 @@ func classFor(t MsgType) msgnet.Class {
 func (r *Replica) SendFaults() uint64 { return r.sendFaults.Value() }
 
 // peerIDs returns connected peers in ascending order so send order (and
-// therefore the simulation) is deterministic.
+// therefore the simulation) is deterministic. The returned slice aliases a
+// per-replica scratch buffer: it is valid only until the next peerIDs call,
+// which is fine for the broadcast loops that consume it synchronously.
 func (r *Replica) peerIDs() []uint32 {
-	ids := make([]uint32, 0, len(r.peers))
+	ids := r.peerIDScratch[:0]
 	for id := uint32(0); id < uint32(r.cfg.N); id++ {
 		if id != r.id && r.peers[id] != nil {
 			ids = append(ids, id)
 		}
 	}
+	r.peerIDScratch = ids
 	return ids
 }
 
@@ -720,13 +723,13 @@ func (r *Replica) handleRequest(req Request) {
 		r.proposeBatch()
 		return
 	}
-	if r.batchTimer == nil || !r.batchTimer.Pending() {
+	if !r.batchTimer.Pending() {
 		r.batchTimer = r.node.Loop().After(r.cfg.BatchDelay, r.proposeBatch)
 	}
 }
 
 func (r *Replica) armRequestTimer(key string) {
-	if r.reqTimers[key] != nil {
+	if _, armed := r.reqTimers[key]; armed {
 		return
 	}
 	r.reqTimers[key] = r.node.Loop().After(r.cfg.ViewTimeout, func() {
@@ -736,7 +739,7 @@ func (r *Replica) armRequestTimer(key string) {
 }
 
 func (r *Replica) cancelRequestTimer(key string) {
-	if t := r.reqTimers[key]; t != nil {
+	if t, ok := r.reqTimers[key]; ok {
 		t.Cancel()
 		delete(r.reqTimers, key)
 	}
@@ -1781,9 +1784,7 @@ func (r *Replica) adoptCheckpoint(seq uint64, d auth.Digest, view uint64) {
 	}
 	r.advanceStable(seq) // also prunes stateVotes/stateXfers at or below seq
 	r.stateFetching = false
-	if r.stateRetry != nil {
-		r.stateRetry.Cancel()
-	}
+	r.stateRetry.Cancel()
 	// A fresh transfer round starts from a clean slate: peers rejected
 	// for corrupt parts in this round get another chance next time (the
 	// reject counter keeps the permanent record).
@@ -1812,9 +1813,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	r.viewChanging = true
 	// Cancel batch work; collect prepared proofs above the stable point.
-	if r.batchTimer != nil {
-		r.batchTimer.Cancel()
-	}
+	r.batchTimer.Cancel()
 	var proofs []PreparedProof
 	for seq, s := range r.log {
 		if s.pp != nil && r.prepared(s) && !s.executed {

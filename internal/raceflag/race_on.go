@@ -1,0 +1,6 @@
+//go:build race
+
+package raceflag
+
+// Enabled reports that this binary runs under the race detector.
+const Enabled = true

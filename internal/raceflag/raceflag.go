@@ -1,0 +1,5 @@
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-count tests and gates use it to skip themselves:
+// the race runtime instruments every allocation, so testing.AllocsPerRun
+// measures the instrumentation, not the code under test.
+package raceflag

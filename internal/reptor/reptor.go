@@ -301,7 +301,7 @@ type Executor struct {
 	hbArmed  bool
 	hbRound  uint64
 	hbCursor int
-	hbTimer  *sim.Timer
+	hbTimer  sim.Timer
 	// hbDelay is the per-instance adaptive heartbeat delay: reset to
 	// Config.HeartbeatDelay by real traffic on the instance, doubled (up
 	// to Config.HeartbeatMax) each heartbeat round the instance sits idle.

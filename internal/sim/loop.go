@@ -48,12 +48,16 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // event is a scheduled callback. Events with equal deadlines fire in the
 // order they were scheduled (seq tie-break), which keeps runs reproducible.
+//
+// Events are pooled: once fired or canceled they return to the loop's free
+// list and are reused by later At calls. gen increments on every release so
+// a stale Timer holding a recycled event cannot cancel its new occupant.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	at    Time
+	seq   uint64
+	fn    func()
+	index int    // heap index, -1 while released
+	gen   uint64 // reuse generation, bumped on release
 }
 
 type eventHeap []*event
@@ -89,25 +93,32 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Timer is a handle to a scheduled event; Cancel prevents it from firing.
+// Timer is a value handle to a scheduled event; Cancel prevents it from
+// firing. The zero Timer is inert: Cancel and Pending return false. Timers
+// may be copied freely; every copy refers to the same scheduled event.
 type Timer struct {
-	ev *event
+	loop *Loop
+	ev   *event
+	gen  uint64
 }
 
-// Cancel stops the timer. It reports whether the callback had not yet fired
-// and was successfully prevented from firing. Cancel on a nil Timer or an
-// already-fired timer is a no-op returning false.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+// Cancel stops the timer, removing its event from the queue immediately
+// (O(log n)) and recycling it. It reports whether the callback had not yet
+// fired and was successfully prevented from firing. Cancel on a zero Timer
+// or an already-fired/canceled timer is a no-op returning false.
+func (t Timer) Cancel() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.index < 0 {
 		return false
 	}
-	t.ev.canceled = true
+	heap.Remove(&t.loop.events, ev.index)
+	t.loop.release(ev)
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // Loop is a single-threaded discrete-event scheduler with a virtual clock.
@@ -120,6 +131,10 @@ type Loop struct {
 	rng       *rand.Rand
 	processed uint64
 	maxEvents uint64 // safety valve against runaway simulations; 0 = unlimited
+
+	// free recycles fired/canceled events (plain LIFO — the loop is
+	// single-threaded, so this is deterministic, unlike sync.Pool).
+	free []*event
 }
 
 // NewLoop returns a Loop whose random source is seeded with seed.
@@ -140,10 +155,30 @@ func (l *Loop) Processed() uint64 { return l.processed }
 // Run panics once the cap is exceeded. Zero disables the cap.
 func (l *Loop) SetEventLimit(n uint64) { l.maxEvents = n }
 
+// acquire takes an event from the free list, or allocates one.
+func (l *Loop) acquire() *event {
+	if n := len(l.free); n > 0 {
+		ev := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a fired or canceled event to the free list. Bumping gen
+// invalidates every outstanding Timer for the old occupancy.
+func (l *Loop) release(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	l.free = append(l.free, ev)
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past (t less
 // than Now) runs the event at the current time, after already-queued events
 // for that instant.
-func (l *Loop) At(t Time, fn func()) *Timer {
+func (l *Loop) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
@@ -151,13 +186,14 @@ func (l *Loop) At(t Time, fn func()) *Timer {
 		t = l.now
 	}
 	l.seq++
-	ev := &event{at: t, seq: l.seq, fn: fn}
+	ev := l.acquire()
+	ev.at, ev.seq, ev.fn = t, l.seq, fn
 	heap.Push(&l.events, ev)
-	return &Timer{ev: ev}
+	return Timer{loop: l, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (l *Loop) After(d Time, fn func()) *Timer {
+func (l *Loop) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -166,25 +202,26 @@ func (l *Loop) After(d Time, fn func()) *Timer {
 
 // Post schedules fn to run at the current virtual time, after all events
 // already queued for this instant.
-func (l *Loop) Post(fn func()) *Timer { return l.At(l.now, fn) }
+func (l *Loop) Post(fn func()) Timer { return l.At(l.now, fn) }
 
 // Step executes the single next event, advancing the clock to its deadline.
-// It reports whether an event was executed.
+// It reports whether an event was executed. The event is released before
+// its callback runs, so the callback may reschedule without growing the
+// pool; a Timer held on the firing event reports Pending false inside it.
 func (l *Loop) Step() bool {
-	for len(l.events) > 0 {
-		ev := heap.Pop(&l.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		l.now = ev.at
-		l.processed++
-		if l.maxEvents != 0 && l.processed > l.maxEvents {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", l.maxEvents, l.now))
-		}
-		ev.fn()
-		return true
+	if len(l.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&l.events).(*event)
+	l.now = ev.at
+	l.processed++
+	if l.maxEvents != 0 && l.processed > l.maxEvents {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", l.maxEvents, l.now))
+	}
+	fn := ev.fn
+	l.release(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -196,15 +233,7 @@ func (l *Loop) Run() {
 // RunUntil executes events with deadlines at or before t, then advances the
 // clock to exactly t (even if the queue drained earlier).
 func (l *Loop) RunUntil(t Time) {
-	for len(l.events) > 0 {
-		next := l.events[0]
-		if next.canceled {
-			heap.Pop(&l.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(l.events) > 0 && l.events[0].at <= t {
 		l.Step()
 	}
 	if l.now < t {
@@ -212,13 +241,6 @@ func (l *Loop) RunUntil(t Time) {
 	}
 }
 
-// Pending returns the number of live (non-canceled) events in the queue.
-func (l *Loop) Pending() int {
-	n := 0
-	for _, ev := range l.events {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled events in the queue. Canceled
+// events leave the queue immediately, so every counted event is live.
+func (l *Loop) Pending() int { return len(l.events) }

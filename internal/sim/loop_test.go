@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"rubin/internal/raceflag"
 )
 
 func TestLoopRunsEventsInTimeOrder(t *testing.T) {
@@ -100,10 +102,91 @@ func TestTimerCancelAfterFire(t *testing.T) {
 	}
 }
 
-func TestNilTimerCancel(t *testing.T) {
-	var tm *Timer
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
 	if tm.Cancel() || tm.Pending() {
-		t.Fatal("nil timer must be inert")
+		t.Fatal("zero timer must be inert")
+	}
+}
+
+func TestCancelRemovesEventFromHeap(t *testing.T) {
+	l := NewLoop(1)
+	var timers []Timer
+	for i := 0; i < 8; i++ {
+		timers = append(timers, l.After(Time(10*(i+1)), func() {}))
+	}
+	if l.Pending() != 8 {
+		t.Fatalf("pending = %d, want 8", l.Pending())
+	}
+	// Cancel from the middle: the heap must shrink immediately, not at
+	// the event's deadline.
+	if !timers[3].Cancel() {
+		t.Fatal("Cancel failed")
+	}
+	if l.Pending() != 7 {
+		t.Fatalf("pending after cancel = %d, want 7 (lazy removal?)", l.Pending())
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending after canceling all = %d, want 0", l.Pending())
+	}
+	fired := false
+	l.After(5, func() { fired = true })
+	l.Run()
+	if !fired {
+		t.Fatal("loop unusable after cancellations")
+	}
+}
+
+func TestRecycledEventIgnoresStaleTimer(t *testing.T) {
+	l := NewLoop(1)
+	stale := l.After(10, func() {})
+	if !stale.Cancel() {
+		t.Fatal("Cancel failed")
+	}
+	// The canceled event goes back to the free list; the next At reuses
+	// it. The stale handle must not be able to cancel the new occupant.
+	fired := false
+	fresh := l.After(20, func() { fired = true })
+	if stale.Cancel() || stale.Pending() {
+		t.Fatal("stale timer still acts on the recycled event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer not pending")
+	}
+	l.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestCancelOrderDeterminismUnchanged(t *testing.T) {
+	// Interleaving cancellations must not perturb the (time, seq) order
+	// of the surviving events.
+	run := func() []int {
+		l := NewLoop(3)
+		var got []int
+		var timers []Timer
+		for i := 0; i < 50; i++ {
+			i := i
+			timers = append(timers, l.At(Time(i%7)*10, func() { got = append(got, i) }))
+		}
+		for i := 0; i < 50; i += 3 {
+			timers[i].Cancel()
+		}
+		l.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
 	}
 }
 
@@ -235,6 +318,31 @@ func TestPropertyMonotonicClock(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAtFireAllocsSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("AllocsPerRun is meaningless under the race detector")
+	}
+	l := NewLoop(1)
+	fn := func() {}
+	// Warm up: grow the heap backing array and seed the free list.
+	for i := 0; i < 64; i++ {
+		l.After(1, fn)
+	}
+	l.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		l.After(1, fn)
+		l.Run()
+	}); avg > 0 {
+		t.Fatalf("At+fire allocates %.1f/op steady-state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		tm := l.After(1, fn)
+		tm.Cancel()
+	}); avg > 0 {
+		t.Fatalf("At+Cancel allocates %.1f/op steady-state, want 0", avg)
 	}
 }
 
